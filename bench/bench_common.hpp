@@ -1,0 +1,66 @@
+// Shared helpers for the paper-reproduction bench binaries.
+//
+// Every bench accepts `key=value` overrides (epochs=20 seed=3 ...) so the
+// default fast preset can be scaled up toward the paper's full 40-epoch runs.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "core/job.hpp"
+#include "core/trainer.hpp"
+
+namespace vcdl::bench {
+
+/// The repo-wide experiment preset: paper topology (50 shards, Table I
+/// fleet), substitution-scale data/model, fast default epoch budget.
+inline ExperimentSpec base_spec(const Config& cfg,
+                                std::size_t default_epochs = 10) {
+  ExperimentSpec spec;
+  spec.max_epochs = static_cast<std::size_t>(
+      cfg.get_int("epochs", static_cast<std::int64_t>(default_epochs)));
+  spec.num_shards = static_cast<std::size_t>(cfg.get_int("num_shards", 50));
+  spec.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 7));
+  spec.learning_rate = cfg.get_double("learning_rate", spec.learning_rate);
+  spec.data.difficulty = cfg.get_double("difficulty", spec.data.difficulty);
+  spec.store = cfg.get_string("store", spec.store);
+  return spec;
+}
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::cout << "================================================================\n"
+            << title << "\n"
+            << "reproduces: " << paper_ref << "\n"
+            << "================================================================\n";
+}
+
+/// Epoch-series table in the layout the paper's figures plot.
+inline Table epoch_series_table() {
+  return Table({"series", "epoch", "alpha", "hours", "mean_acc", "min_acc",
+                "max_acc", "std_acc", "val_acc", "test_acc"});
+}
+
+inline void add_epoch_rows(Table& table, const std::string& series,
+                           const TrainResult& result) {
+  for (const auto& e : result.epochs) {
+    table.add_row({series, Table::fmt(e.epoch), Table::fmt(e.alpha, 3),
+                   Table::fmt(e.end_time / 3600.0, 3),
+                   Table::fmt(e.mean_subtask_acc), Table::fmt(e.min_subtask_acc),
+                   Table::fmt(e.max_subtask_acc), Table::fmt(e.std_subtask_acc),
+                   Table::fmt(e.val_acc), Table::fmt(e.test_acc)});
+  }
+}
+
+inline void print_run_summary(const TrainResult& r) {
+  std::cout << "  " << r.spec.label() << " alpha=" << r.spec.alpha
+            << " store=" << r.spec.store << ": " << r.epochs.size()
+            << " epochs in " << Table::fmt(r.totals.duration_s / 3600.0, 2)
+            << " virtual hours, final mean_acc "
+            << Table::fmt(r.final_epoch().mean_subtask_acc) << ", lost updates "
+            << r.totals.lost_updates << "/" << r.totals.store_writes
+            << ", timeouts " << r.totals.timeouts << "\n";
+}
+
+}  // namespace vcdl::bench

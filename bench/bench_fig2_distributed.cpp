@@ -1,0 +1,46 @@
+// Figure 2 — effect of distributed training at fixed α = 0.95.
+//
+// Runs the paper's four configurations (P1C3T2, P1C3T8, P3C3T8, P5C5T2) and
+// prints the accuracy-vs-cumulative-time series of each. Expected shape
+// (§IV-B): all configurations converge toward the same accuracy; they differ
+// in training time; P5C5T2 is the fastest of the four.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vcdl;
+  const Config cfg = Config::from_args(argc, argv);
+  bench::print_header("Figure 2 — accuracy vs cumulative training time",
+                      "Fig. 2 (P1C3T2, P1C3T8, P3C3T8, P5C5T2; alpha = 0.95)");
+
+  struct Shape {
+    std::size_t p, c, t;
+  };
+  const Shape shapes[] = {{1, 3, 2}, {1, 3, 8}, {3, 3, 8}, {5, 5, 2}};
+
+  Table table = bench::epoch_series_table();
+  std::vector<TrainResult> results;
+  for (const Shape& s : shapes) {
+    ExperimentSpec spec = bench::base_spec(cfg);
+    spec.parameter_servers = s.p;
+    spec.clients = s.c;
+    spec.tasks_per_client = s.t;
+    spec.alpha = "0.95";
+    const TrainResult r = run_experiment(spec);
+    bench::print_run_summary(r);
+    bench::add_epoch_rows(table, spec.label(), r);
+    results.push_back(r);
+  }
+  std::cout << "\n";
+  table.print(std::cout);
+
+  // Shape check: time-to-final-epoch ordering, equal accuracy band.
+  std::cout << "\nTime to " << results[0].epochs.size() << " epochs:\n";
+  for (const auto& r : results) {
+    std::cout << "  " << r.spec.label() << ": "
+              << Table::fmt(r.totals.duration_s / 3600.0, 2) << " h (final acc "
+              << Table::fmt(r.final_epoch().mean_subtask_acc, 3) << ")\n";
+  }
+  return 0;
+}

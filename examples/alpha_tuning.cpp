@@ -1,0 +1,67 @@
+// Hyperparameter tuning for the VC-ASGD α schedule.
+//
+// A user porting a new model to VCDL needs an α schedule. This example runs
+// a short probe job for each candidate schedule — the paper's constants, the
+// Var schedule, and a custom table — and ranks them by validation accuracy
+// per virtual hour, mirroring the methodology of §IV-C.
+#include <algorithm>
+#include <iostream>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "core/alpha_schedule.hpp"
+#include "core/trainer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vcdl;
+  const Config cfg = Config::from_args(argc, argv);
+  const std::size_t epochs = static_cast<std::size_t>(cfg.get_int("max_epochs", 6));
+
+  std::cout << "VC-ASGD alpha-schedule probe (P3C3T4, " << epochs
+            << "-epoch probes)\n\n";
+
+  struct Candidate {
+    std::string spec;
+    TrainResult result;
+  };
+  std::vector<Candidate> candidates;
+  for (const char* alpha : {"0.5", "0.7", "0.9", "0.95", "var"}) {
+    ExperimentSpec spec;
+    spec.parameter_servers = 3;
+    spec.clients = 3;
+    spec.tasks_per_client = 4;
+    spec.alpha = alpha;
+    spec.max_epochs = epochs;
+    spec.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 7));
+    candidates.push_back({alpha, run_experiment(spec)});
+    const auto& r = candidates.back().result;
+    std::cout << "  probed alpha=" << alpha << ": final mean acc "
+              << Table::fmt(r.final_epoch().mean_subtask_acc, 3) << " in "
+              << Table::fmt(r.totals.duration_s / 3600.0, 2) << " h\n";
+  }
+
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.result.final_epoch().mean_subtask_acc >
+                     b.result.final_epoch().mean_subtask_acc;
+            });
+
+  std::cout << "\nRanking after " << epochs << " epochs:\n";
+  Table table({"rank", "alpha", "final acc", "acc band", "acc/hour"});
+  std::size_t rank = 1;
+  for (const auto& c : candidates) {
+    const auto& e = c.result.final_epoch();
+    table.add_row({Table::fmt(rank++), c.spec, Table::fmt(e.mean_subtask_acc, 3),
+                   "[" + Table::fmt(e.min_subtask_acc, 3) + ", " +
+                       Table::fmt(e.max_subtask_acc, 3) + "]",
+                   Table::fmt(e.mean_subtask_acc /
+                                  (c.result.totals.duration_s / 3600.0),
+                              3)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nNote: short probes reward small alpha (fast early learning);"
+            << " §IV-C shows larger or growing alpha wins over long runs —"
+            << " prefer the 'var' schedule for full jobs.\n";
+  return 0;
+}

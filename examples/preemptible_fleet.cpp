@@ -1,0 +1,71 @@
+// What-if study: cost vs interruption rate for a preemptible fleet.
+//
+// Before committing a training job to spot instances, a user wants to know
+// how much delay to expect at a given interruption rate and whether the cost
+// savings survive the extra runtime. This example combines:
+//   * the paper's closed-form binomial delay model (§IV-E), and
+//   * measured DES runs with injected preemptions,
+// and prices both with the Table I fleet.
+#include <iostream>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "core/trainer.hpp"
+#include "sim/cost.hpp"
+#include "sim/preemption.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vcdl;
+  const Config cfg = Config::from_args(argc, argv);
+  const std::size_t epochs =
+      static_cast<std::size_t>(cfg.get_int("max_epochs", 4));
+
+  std::cout << "Preemptible fleet what-if study (P5C5T2, " << epochs
+            << " epochs)\n\n";
+
+  // Analytic expectation first (instant).
+  std::cout << "Closed-form binomial model (paper §IV-E, n_s scaled to "
+            << epochs << " epochs x 50 subtasks):\n";
+  Table analytic({"p per slot", "expected timeouts", "expected delay"});
+  for (const double p : {0.02, 0.05, 0.10, 0.20}) {
+    BinomialDelayModel m;
+    m.total_subtasks = epochs * 50;
+    m.termination_probability = p;
+    analytic.add_row({Table::fmt(p, 2), Table::fmt(m.expected_timeouts(), 1),
+                      Table::fmt(m.expected_increase() / 60.0, 1) + " min"});
+  }
+  analytic.print(std::cout);
+
+  // Measured: run the actual system at several interruption rates.
+  std::cout << "\nMeasured (DES with injected preemptions):\n";
+  Table measured({"interruptions/h", "hours", "delay vs reliable", "preempts",
+                  "timeouts", "final acc", "preemptible cost", "standard cost"});
+  double base_hours = 0.0;
+  for (const double rate : {0.0, 0.1, 0.5, 2.0}) {
+    ExperimentSpec spec;
+    spec.parameter_servers = 5;
+    spec.clients = 5;
+    spec.tasks_per_client = 2;
+    spec.alpha = "var";
+    spec.max_epochs = epochs;
+    spec.preemptible = rate > 0.0;
+    spec.interruption_per_hour = rate;
+    spec.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 7));
+    const TrainResult r = run_experiment(spec);
+    const double hours = r.totals.duration_s / 3600.0;
+    if (rate == 0.0) base_hours = hours;
+    measured.add_row(
+        {Table::fmt(rate, 1), Table::fmt(hours, 2),
+         Table::fmt((hours - base_hours) * 60.0, 0) + " min",
+         Table::fmt(r.totals.preemptions), Table::fmt(r.totals.timeouts),
+         Table::fmt(r.final_epoch().mean_subtask_acc, 3),
+         "$" + Table::fmt(r.totals.cost_preemptible_usd, 2),
+         "$" + Table::fmt(r.totals.cost_standard_usd, 2)});
+  }
+  measured.print(std::cout);
+
+  std::cout << "\nReading: preemptions add n*p*t_o-style delay but the job "
+               "always completes, and even the delayed runs cost ~70% less "
+               "than the reliable fleet at standard prices.\n";
+  return 0;
+}

@@ -1,0 +1,124 @@
+#include "common/compress.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+namespace vcdl {
+namespace {
+
+constexpr std::array<std::uint8_t, 4> kMagic = {'V', 'C', 'Z', '1'};
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxMatch = kMinMatch + 127;  // fits the token byte
+constexpr std::size_t kWindow = 64 * 1024;
+constexpr std::size_t kHashBits = 15;
+constexpr std::size_t kHashSize = std::size_t{1} << kHashBits;
+
+inline std::uint32_t load32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline std::size_t hash4(std::uint32_t v) {
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+// Emits a literal run [lit_begin, lit_end) as one or more tokens.
+void flush_literals(BinaryWriter& out, const std::uint8_t* lit_begin,
+                    const std::uint8_t* lit_end) {
+  while (lit_begin < lit_end) {
+    const std::size_t run =
+        std::min<std::size_t>(128, static_cast<std::size_t>(lit_end - lit_begin));
+    out.write(static_cast<std::uint8_t>(run - 1));  // bit7 clear ⇒ literals
+    out.write_bytes({lit_begin, run});
+    lit_begin += run;
+  }
+}
+
+}  // namespace
+
+Blob compress(std::span<const std::uint8_t> input) {
+  BinaryWriter out;
+  out.write(kMagic);
+  out.write_varint(input.size());
+
+  const std::uint8_t* base = input.data();
+  const std::size_t n = input.size();
+  std::vector<std::uint32_t> head(kHashSize, 0xFFFFFFFFu);
+
+  std::size_t pos = 0;
+  std::size_t lit_start = 0;
+  while (pos + kMinMatch <= n) {
+    const std::size_t h = hash4(load32(base + pos));
+    const std::uint32_t cand = head[h];
+    head[h] = static_cast<std::uint32_t>(pos);
+
+    std::size_t match_len = 0;
+    if (cand != 0xFFFFFFFFu && pos - cand <= kWindow &&
+        load32(base + cand) == load32(base + pos)) {
+      const std::size_t limit = std::min(kMaxMatch, n - pos);
+      match_len = kMinMatch;
+      while (match_len < limit && base[cand + match_len] == base[pos + match_len]) {
+        ++match_len;
+      }
+    }
+
+    if (match_len >= kMinMatch) {
+      flush_literals(out, base + lit_start, base + pos);
+      out.write(static_cast<std::uint8_t>(0x80u | (match_len - kMinMatch)));
+      out.write_varint(pos - cand);  // back distance, >= 1
+      pos += match_len;
+      lit_start = pos;
+    } else {
+      ++pos;
+    }
+  }
+  flush_literals(out, base + lit_start, base + n);
+  return out.take();
+}
+
+Blob decompress(std::span<const std::uint8_t> input) {
+  BinaryReader in(input);
+  const auto magic = in.read<std::array<std::uint8_t, 4>>();
+  if (magic != kMagic) throw CorruptData("decompress: bad magic");
+  const std::uint64_t out_size = in.read_varint();
+
+  std::vector<std::uint8_t> out;
+  // The header size is untrusted input: cap the speculative reservation so a
+  // corrupt header cannot trigger a huge allocation (the final size check
+  // below still enforces exactness).
+  out.reserve(std::min<std::uint64_t>(out_size, 1 << 20));
+  while (!in.done()) {
+    const auto token = in.read<std::uint8_t>();
+    if (token & 0x80u) {
+      const std::size_t len = (token & 0x7Fu) + kMinMatch;
+      const std::uint64_t dist = in.read_varint();
+      if (dist == 0 || dist > out.size()) {
+        throw CorruptData("decompress: match distance out of range");
+      }
+      // Byte-at-a-time copy: overlapping matches (dist < len) are legal and
+      // implement run-length semantics.
+      std::size_t src = out.size() - dist;
+      for (std::size_t i = 0; i < len; ++i) out.push_back(out[src + i]);
+    } else {
+      const auto lits = in.read_bytes();
+      if (lits.size() != static_cast<std::size_t>(token) + 1) {
+        throw CorruptData("decompress: literal run truncated");
+      }
+      out.insert(out.end(), lits.begin(), lits.end());
+    }
+  }
+  if (out.size() != out_size) {
+    throw CorruptData("decompress: size mismatch (header says " +
+                      std::to_string(out_size) + ", decoded " +
+                      std::to_string(out.size()) + ")");
+  }
+  return Blob(std::move(out));
+}
+
+std::size_t compressed_size(std::span<const std::uint8_t> input) {
+  return compress(input).size();
+}
+
+}  // namespace vcdl

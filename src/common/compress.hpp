@@ -1,0 +1,29 @@
+// LZ-style byte compression.
+//
+// The paper relies on compressed artifacts (.npz data subsets, .h5 parameter
+// files) and on BOINC's transparent on-the-wire compression to cut transfer
+// time over slow volunteer links. VCDL implements a greedy LZ77 codec with a
+// 64 KiB window and 4-byte hash chains — deliberately simple, dependency-free,
+// and fast enough to sit on the file-server hot path. Ratio on uint8 image
+// shards is comparable to DEFLATE-at-level-1, which is all the transfer-time
+// model needs.
+#pragma once
+
+#include "common/blob.hpp"
+
+namespace vcdl {
+
+/// Compresses `input`; output begins with a small header recording the
+/// uncompressed size. Incompressible input grows by a few bytes at most
+/// (stored as literal runs).
+Blob compress(std::span<const std::uint8_t> input);
+inline Blob compress(const Blob& input) { return compress(input.view()); }
+
+/// Inverse of compress(). Throws CorruptData on malformed input.
+Blob decompress(std::span<const std::uint8_t> input);
+inline Blob decompress(const Blob& input) { return decompress(input.view()); }
+
+/// Convenience: compressed size in bytes without keeping the output.
+std::size_t compressed_size(std::span<const std::uint8_t> input);
+
+}  // namespace vcdl

@@ -1,0 +1,98 @@
+#include "common/config.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace vcdl {
+namespace {
+
+void parse_token(Config& cfg, const std::string& token) {
+  const auto eq = token.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    throw InvalidArgument("Config: expected key=value, got '" + token + "'");
+  }
+  cfg.set(token.substr(0, eq), token.substr(eq + 1));
+}
+
+}  // namespace
+
+Config Config::from_args(int argc, const char* const* argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) parse_token(cfg, argv[i]);
+  return cfg;
+}
+
+Config Config::from_string(const std::string& text) {
+  Config cfg;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    std::istringstream ls(line);
+    std::string token;
+    while (ls >> token) {
+      if (token[0] == '#') break;  // rest of line is a comment
+      parse_token(cfg, token);
+    }
+  }
+  return cfg;
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+bool Config::has(const std::string& key) const { return values_.count(key) > 0; }
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Config::get_int(const std::string& key, std::int64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const auto v = std::stoll(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument(it->second);
+    return v;
+  } catch (const std::exception&) {
+    throw InvalidArgument("Config: '" + key + "' is not an integer: " + it->second);
+  }
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const auto v = std::stod(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument(it->second);
+    return v;
+  } catch (const std::exception&) {
+    throw InvalidArgument("Config: '" + key + "' is not a number: " + it->second);
+  }
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::string v = it->second;
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char ch) { return static_cast<char>(std::tolower(ch)); });
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  throw InvalidArgument("Config: '" + key + "' is not a bool: " + it->second);
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, _] : values_) out.push_back(k);
+  return out;
+}
+
+}  // namespace vcdl

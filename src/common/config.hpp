@@ -1,0 +1,40 @@
+// Flat key=value configuration with typed accessors.
+//
+// Benches and examples accept `key=value` command-line overrides (for
+// example `epochs=20 alpha=0.95 store=eventual`) so the paper experiments
+// can be re-run at other scales without recompiling.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vcdl {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses argv-style `key=value` tokens; unknown tokens throw.
+  static Config from_args(int argc, const char* const* argv);
+  /// Parses a whitespace/newline separated `key=value` string. Lines starting
+  /// with '#' are comments.
+  static Config from_string(const std::string& text);
+
+  void set(const std::string& key, const std::string& value);
+  bool has(const std::string& key) const;
+
+  std::string get_string(const std::string& key, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Keys in insertion-independent (sorted) order.
+  std::vector<std::string> keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace vcdl

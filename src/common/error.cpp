@@ -1,0 +1,15 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace vcdl::detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& msg) {
+  std::ostringstream os;
+  os << "VCDL_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace vcdl::detail

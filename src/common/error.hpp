@@ -1,0 +1,62 @@
+// Error handling primitives for VCDL.
+//
+// The library throws `vcdl::Error` for precondition violations and
+// unrecoverable internal states. Hot-path validation uses VCDL_CHECK, which is
+// always on (these checks guard user-facing API contracts, not internal
+// invariants); VCDL_DCHECK compiles out in release builds.
+#pragma once
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+namespace vcdl {
+
+/// Base exception for all VCDL failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a function argument or configuration violates its contract.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when serialized data is malformed or truncated.
+class CorruptData : public Error {
+ public:
+  explicit CorruptData(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a lookup (key, file, workunit id, ...) finds nothing.
+class NotFound : public Error {
+ public:
+  explicit NotFound(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& msg);
+}  // namespace detail
+
+}  // namespace vcdl
+
+/// Always-on contract check; throws vcdl::Error on failure.
+#define VCDL_CHECK(expr, ...)                                              \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::vcdl::detail::check_failed(#expr, __FILE__, __LINE__,              \
+                                   ::std::string(__VA_ARGS__));            \
+    }                                                                      \
+  } while (false)
+
+/// Debug-only invariant check; compiles to nothing with NDEBUG.
+#ifdef NDEBUG
+#define VCDL_DCHECK(expr, ...) \
+  do {                         \
+  } while (false)
+#else
+#define VCDL_DCHECK(expr, ...) VCDL_CHECK(expr, ##__VA_ARGS__)
+#endif

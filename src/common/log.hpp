@@ -1,0 +1,37 @@
+// Minimal leveled logger.
+//
+// VCDL is a library, so logging is opt-in: the default level is `warn` and
+// benches/examples raise it explicitly. The logger is safe to call from
+// multiple threads (one mutex around the stream write).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace vcdl {
+
+enum class LogLevel { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+}  // namespace vcdl
+
+#define VCDL_LOG(level, ...)                                             \
+  do {                                                                   \
+    if (static_cast<int>(level) >= static_cast<int>(::vcdl::log_level())) { \
+      ::std::ostringstream vcdl_log_os;                                  \
+      vcdl_log_os << __VA_ARGS__;                                        \
+      ::vcdl::detail::log_emit(level, vcdl_log_os.str());                \
+    }                                                                    \
+  } while (false)
+
+#define VCDL_DEBUG(...) VCDL_LOG(::vcdl::LogLevel::debug, __VA_ARGS__)
+#define VCDL_INFO(...) VCDL_LOG(::vcdl::LogLevel::info, __VA_ARGS__)
+#define VCDL_WARN(...) VCDL_LOG(::vcdl::LogLevel::warn, __VA_ARGS__)
+#define VCDL_ERROR(...) VCDL_LOG(::vcdl::LogLevel::error, __VA_ARGS__)

@@ -1,0 +1,78 @@
+// Deterministic random number generation.
+//
+// All stochastic behaviour in VCDL (weight init, data synthesis, preemption
+// sampling, network jitter) flows through `vcdl::Rng` so that every
+// experiment is reproducible from a single 64-bit seed. The generator is
+// xoshiro256++ seeded via splitmix64, which has good statistical quality and
+// is much faster than std::mt19937_64.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace vcdl {
+
+/// splitmix64 step — used for seeding and for cheap stateless hashing.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Stateless mix of two 64-bit values into one (for deriving substream seeds).
+std::uint64_t mix64(std::uint64_t a, std::uint64_t b);
+
+/// xoshiro256++ PRNG. Satisfies UniformRandomBitGenerator so it can be used
+/// with <random> distributions, but the member helpers below are preferred
+/// because their output is identical across platforms and standard libraries.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()();
+
+  /// Uniform in [0, 1).
+  double uniform();
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Standard normal via Box–Muller (deterministic, platform-independent).
+  double normal();
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p);
+  /// Exponential with the given rate (mean 1/rate). Requires rate > 0.
+  double exponential(double rate);
+  /// Log-normal such that the underlying normal has parameters (mu, sigma).
+  double lognormal(double mu, double sigma);
+
+  /// Derive an independent child generator; stable for (seed, stream_id).
+  Rng fork(std::uint64_t stream_id) const;
+
+  /// Fisher–Yates shuffle of [first, last).
+  template <typename It>
+  void shuffle(It first, It last) {
+    const auto n = static_cast<std::uint64_t>(last - first);
+    for (std::uint64_t i = n; i > 1; --i) {
+      const auto j = uniform_index(i);
+      using std::swap;
+      swap(first[i - 1], first[j]);
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  std::uint64_t seed_ = 0;       // retained so fork() is reproducible
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace vcdl

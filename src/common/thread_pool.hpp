@@ -1,0 +1,53 @@
+// Fixed-size worker pool with a blocking parallel_for.
+//
+// Used by the tensor kernels (GEMM tiling) and by the concurrent store
+// benchmarks. The pool is intentionally simple: a single mutex-protected
+// queue is more than enough for the coarse-grained tasks VCDL submits
+// (thousands of FLOPs each), and keeps the implementation obviously correct.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace vcdl {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; returns a future for its completion.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Runs fn(i) for i in [begin, end), splitting the range into roughly
+  /// `size()` contiguous chunks. Blocks until all chunks finish. Exceptions
+  /// from fn propagate to the caller (first one wins).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Process-wide shared pool (lazily constructed, sized to the machine).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace vcdl

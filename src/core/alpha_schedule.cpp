@@ -1,0 +1,51 @@
+#include "core/alpha_schedule.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace vcdl {
+
+ConstantAlpha::ConstantAlpha(double alpha) : alpha_(alpha) {
+  VCDL_CHECK(alpha >= 0.0 && alpha < 1.0, "ConstantAlpha: alpha must be in [0, 1)");
+}
+
+double ConstantAlpha::alpha(std::size_t /*epoch*/) const { return alpha_; }
+
+std::string ConstantAlpha::name() const {
+  std::ostringstream os;
+  os << alpha_;
+  return os.str();
+}
+
+double VarAlpha::alpha(std::size_t epoch) const {
+  const double e = static_cast<double>(epoch == 0 ? 1 : epoch);
+  return e / (e + 1.0);
+}
+
+TableAlpha::TableAlpha(std::vector<double> values) : values_(std::move(values)) {
+  VCDL_CHECK(!values_.empty(), "TableAlpha: empty table");
+  for (const double a : values_) {
+    VCDL_CHECK(a >= 0.0 && a < 1.0, "TableAlpha: alpha out of [0, 1)");
+  }
+}
+
+double TableAlpha::alpha(std::size_t epoch) const {
+  const std::size_t i = epoch == 0 ? 0 : epoch - 1;
+  return values_[i < values_.size() ? i : values_.size() - 1];
+}
+
+std::unique_ptr<AlphaSchedule> make_alpha_schedule(const std::string& spec) {
+  if (spec == "var") return std::make_unique<VarAlpha>();
+  try {
+    std::size_t pos = 0;
+    const double a = std::stod(spec, &pos);
+    if (pos != spec.size()) throw std::invalid_argument(spec);
+    return std::make_unique<ConstantAlpha>(a);
+  } catch (const std::exception&) {
+    throw InvalidArgument("make_alpha_schedule: expected 'var' or a constant in"
+                          " [0,1), got '" + spec + "'");
+  }
+}
+
+}  // namespace vcdl

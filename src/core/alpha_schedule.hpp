@@ -1,0 +1,54 @@
+// VC-ASGD hyperparameter schedules (§III-C, §IV-C).
+//
+// Equation (1): W_s ← α·W_s + (1−α)·W_{c_i,j}. The paper studies constant
+// α ∈ {0.7, 0.95, 0.999} and a "Var" schedule α_e = e/(e+1) that grows from
+// 0.5 toward 1 with the epoch number — analogous to a learning-rate schedule.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vcdl {
+
+class AlphaSchedule {
+ public:
+  virtual ~AlphaSchedule() = default;
+  /// α for epoch e (1-based, matching the paper's α_e = e/(e+1)).
+  virtual double alpha(std::size_t epoch) const = 0;
+  virtual std::string name() const = 0;
+};
+
+class ConstantAlpha : public AlphaSchedule {
+ public:
+  explicit ConstantAlpha(double alpha);
+  double alpha(std::size_t epoch) const override;
+  std::string name() const override;
+
+ private:
+  double alpha_;
+};
+
+/// α_e = e / (e + 1): 0.5, 0.667, 0.75, ... → 0.98 at e = 49.
+class VarAlpha : public AlphaSchedule {
+ public:
+  double alpha(std::size_t epoch) const override;
+  std::string name() const override { return "var"; }
+};
+
+/// Arbitrary per-epoch table (clamped to the last entry past the end).
+class TableAlpha : public AlphaSchedule {
+ public:
+  explicit TableAlpha(std::vector<double> values);
+  double alpha(std::size_t epoch) const override;
+  std::string name() const override { return "table"; }
+
+ private:
+  std::vector<double> values_;
+};
+
+/// "var" → VarAlpha; otherwise parses a constant ("0.95").
+std::unique_ptr<AlphaSchedule> make_alpha_schedule(const std::string& spec);
+
+}  // namespace vcdl

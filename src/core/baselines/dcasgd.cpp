@@ -1,0 +1,127 @@
+#include "core/baselines/dcasgd.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+#include "core/eval.hpp"
+#include "nn/loss.hpp"
+
+namespace vcdl {
+
+DcAsgdResult run_dcasgd_baseline(const DcAsgdSpec& spec) {
+  VCDL_CHECK(spec.workers >= 1, "dcasgd: need >= 1 worker");
+  VCDL_CHECK(spec.lambda >= 0.0, "dcasgd: lambda must be non-negative");
+  SyntheticSpec data_spec = spec.data;
+  data_spec.seed = mix64(spec.seed, 0xDA7A);
+  const SyntheticData data = make_synthetic_cifar(data_spec);
+
+  Model server_model = make_resnet_lite(spec.model, mix64(spec.seed, 0x30DE1));
+  std::vector<float> w = server_model.flat_params();
+  const std::size_t dim = w.size();
+
+  struct Worker {
+    std::vector<std::size_t> order;
+    std::size_t cursor = 0;
+    bool alive = true;
+  };
+
+  Rng rng(mix64(spec.seed, 0xDCA5));
+  std::vector<std::size_t> all(data.train.size());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  rng.shuffle(all.begin(), all.end());
+  std::vector<Worker> workers(spec.workers);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    workers[i % spec.workers].order.push_back(all[i]);
+  }
+
+  // In-flight gradients: each entry is (gradient, w_bak) computed on an
+  // older server copy; it lands `staleness` pops later.
+  struct Pending {
+    std::vector<float> grad;
+    std::vector<float> w_bak;
+  };
+  std::deque<Pending> inflight;
+
+  Model scratch = server_model;  // replica used to compute worker gradients
+  DcAsgdResult result;
+  double comp_sq_total = 0.0;
+  std::size_t comp_terms = 0;
+
+  const std::size_t steps_per_worker_epoch =
+      (data.train.size() / spec.workers + spec.batch_size - 1) / spec.batch_size;
+
+  auto apply_update = [&](const Pending& p) {
+    const auto eta = static_cast<float>(spec.learning_rate);
+    const auto lambda = static_cast<float>(spec.lambda);
+    for (std::size_t i = 0; i < dim; ++i) {
+      const float g = p.grad[i];
+      // Diagonal Hessian approximation: λ g² (w_now − w_bak).
+      const float comp = lambda * g * g * (w[i] - p.w_bak[i]);
+      w[i] -= eta * (g + comp);
+      comp_sq_total += static_cast<double>(comp) * comp;
+    }
+    comp_terms += dim;
+    ++result.updates;
+  };
+
+  for (std::size_t epoch = 1; epoch <= spec.max_epochs; ++epoch) {
+    if (spec.fail_worker >= 0 && epoch > spec.fail_after_epoch &&
+        static_cast<std::size_t>(spec.fail_worker) < workers.size()) {
+      workers[static_cast<std::size_t>(spec.fail_worker)].alive = false;
+    }
+    for (std::size_t round = 0; round < steps_per_worker_epoch; ++round) {
+      for (auto& wk : workers) {
+        if (!wk.alive) continue;
+        // Worker computes a gradient on the CURRENT server copy (w_bak = w).
+        const std::size_t count =
+            std::min(spec.batch_size, wk.order.size() - wk.cursor);
+        std::span<const std::size_t> idx(wk.order.data() + wk.cursor, count);
+        wk.cursor = (wk.cursor + count) % wk.order.size();
+        scratch.set_flat_params(w);
+        const Tensor x = data.train.gather_tensor(idx);
+        std::vector<std::uint16_t> labels(count);
+        for (std::size_t i = 0; i < count; ++i) {
+          labels[i] = data.train.label(idx[i]);
+        }
+        const Tensor logits = scratch.forward(x, true);
+        const auto loss = softmax_cross_entropy(logits, labels);
+        scratch.zero_grads();
+        scratch.backward(loss.grad);
+        Pending p;
+        p.grad.reserve(dim);
+        for (Tensor* g : scratch.grads()) {
+          p.grad.insert(p.grad.end(), g->flat().begin(), g->flat().end());
+        }
+        p.w_bak = w;
+        inflight.push_back(std::move(p));
+        // The gradient that lands now was computed `staleness` steps ago.
+        if (inflight.size() > spec.staleness) {
+          apply_update(inflight.front());
+          inflight.pop_front();
+        }
+      }
+    }
+    // Drain at the epoch boundary (synchronization point for evaluation).
+    while (!inflight.empty()) {
+      apply_update(inflight.front());
+      inflight.pop_front();
+    }
+    server_model.set_flat_params(w);
+    EpochStats es;
+    es.epoch = epoch;
+    es.end_time = static_cast<double>(epoch);
+    es.val_acc = evaluate_accuracy(server_model, data.validation);
+    es.test_acc = evaluate_accuracy(server_model, data.test);
+    es.mean_subtask_acc = es.val_acc;
+    es.min_subtask_acc = es.val_acc;
+    es.max_subtask_acc = es.val_acc;
+    es.results = spec.workers;
+    result.epochs.push_back(es);
+  }
+  result.mean_compensation =
+      comp_terms ? comp_sq_total / static_cast<double>(comp_terms) : 0.0;
+  return result;
+}
+
+}  // namespace vcdl

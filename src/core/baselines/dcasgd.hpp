@@ -1,0 +1,42 @@
+// Delay-Compensated ASGD baseline (Zheng et al., ICML'17) — §II-B.
+//
+// The third cluster-paradigm scheme the paper discusses: workers send raw
+// gradients; the server compensates for gradient staleness with a cheap
+// diagonal Hessian approximation,
+//   w ← w − η [ g + λ · g ⊙ g ⊙ (w − w_bak) ]
+// where w_bak is the server copy the worker based its gradient on. As the
+// paper notes (§II-B), DC-ASGD "needs parameter updates from all clients ...
+// and, hence, is not fault tolerant" — the fail_worker option demonstrates
+// that, mirroring the Downpour/EASGD baselines.
+#pragma once
+
+#include "core/job.hpp"
+
+namespace vcdl {
+
+struct DcAsgdSpec {
+  SyntheticSpec data;
+  ResNetLiteSpec model;
+  std::size_t workers = 4;
+  std::size_t max_epochs = 8;
+  std::size_t batch_size = 10;
+  double learning_rate = 3e-3;   // server step η
+  double lambda = 0.04;          // delay-compensation strength λ
+  /// Simulated staleness: a worker's gradient is applied this many server
+  /// steps after the copy it was computed on (0 = fresh).
+  std::size_t staleness = 4;
+  int fail_worker = -1;
+  std::size_t fail_after_epoch = 2;
+  std::uint64_t seed = 7;
+};
+
+struct DcAsgdResult {
+  std::vector<EpochStats> epochs;
+  std::size_t updates = 0;
+  /// Mean squared compensation term actually applied (diagnostic).
+  double mean_compensation = 0.0;
+};
+
+DcAsgdResult run_dcasgd_baseline(const DcAsgdSpec& spec);
+
+}  // namespace vcdl

@@ -1,0 +1,45 @@
+// Downpour SGD baseline (Dean et al., NIPS'12) — §II-B.
+//
+// The cluster-paradigm asynchronous scheme VC-ASGD is motivated against:
+// every worker holds a model replica, pushes accumulated gradients to the
+// parameter server every n_push steps and refreshes its replica every
+// n_fetch steps. This is an algorithm-level simulator (round-robin worker
+// interleaving with optional speed skew) — it models the *update rule*, not
+// the transport; the paper's point is that the rule assumes clients that
+// never disappear, which the fault-injection option below demonstrates.
+#pragma once
+
+#include "core/job.hpp"
+
+namespace vcdl {
+
+struct DownpourSpec {
+  SyntheticSpec data;
+  ResNetLiteSpec model;
+  std::size_t workers = 4;
+  std::size_t n_push = 4;    // steps between gradient pushes
+  std::size_t n_fetch = 4;   // steps between parameter fetches
+  std::size_t max_epochs = 8;
+  std::size_t batch_size = 20;
+  double learning_rate = 1e-3;  // server-side SGD rate
+  std::string optimizer = "adam";  // workers' local optimizer
+  /// Per-worker relative speed; empty = all 1.0. A slow worker's pushes are
+  /// correspondingly stale.
+  std::vector<double> worker_speeds;
+  /// If >= 0, this worker permanently disappears after the given epoch —
+  /// with Downpour its share of the data is silently never trained on
+  /// ("consistent loss of updates from a disconnected client", §III-C).
+  int fail_worker = -1;
+  std::size_t fail_after_epoch = 2;
+  std::uint64_t seed = 7;
+};
+
+struct DownpourResult {
+  std::vector<EpochStats> epochs;
+  std::size_t pushes = 0;
+  std::size_t fetches = 0;
+};
+
+DownpourResult run_downpour_baseline(const DownpourSpec& spec);
+
+}  // namespace vcdl

@@ -1,0 +1,105 @@
+#include "core/baselines/easgd.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/eval.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+
+namespace vcdl {
+
+EasgdResult run_easgd_baseline(const EasgdSpec& spec) {
+  VCDL_CHECK(spec.workers >= 1, "easgd: need >= 1 worker");
+  VCDL_CHECK(spec.tau >= 1, "easgd: tau >= 1");
+  VCDL_CHECK(spec.moving_rate > 0.0 && spec.moving_rate < 1.0,
+             "easgd: moving rate in (0, 1)");
+  SyntheticSpec data_spec = spec.data;
+  data_spec.seed = mix64(spec.seed, 0xDA7A);
+  const SyntheticData data = make_synthetic_cifar(data_spec);
+
+  Model center_model = make_resnet_lite(spec.model, mix64(spec.seed, 0x30DE1));
+  std::vector<float> center = center_model.flat_params();  // x̃
+  const std::size_t dim = center.size();
+
+  struct Worker {
+    Model replica;
+    std::unique_ptr<Optimizer> optimizer;
+    std::vector<std::size_t> order;
+    std::size_t cursor = 0;
+    std::size_t steps = 0;
+    bool alive = true;
+  };
+
+  Rng rng(mix64(spec.seed, 0xEA5D));
+  std::vector<std::size_t> all(data.train.size());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  rng.shuffle(all.begin(), all.end());
+  std::vector<Worker> workers;
+  workers.reserve(spec.workers);
+  for (std::size_t w = 0; w < spec.workers; ++w) {
+    Worker wk{center_model, make_optimizer(spec.optimizer, spec.learning_rate),
+              {}, 0, 0, true};
+    for (std::size_t i = w; i < all.size(); i += spec.workers) {
+      wk.order.push_back(all[i]);
+    }
+    workers.push_back(std::move(wk));
+  }
+
+  EasgdResult result;
+  const std::size_t steps_per_worker_epoch =
+      (data.train.size() / spec.workers + spec.batch_size - 1) / spec.batch_size;
+  const auto beta = static_cast<float>(spec.moving_rate);
+
+  for (std::size_t epoch = 1; epoch <= spec.max_epochs; ++epoch) {
+    if (spec.fail_worker >= 0 && epoch > spec.fail_after_epoch &&
+        static_cast<std::size_t>(spec.fail_worker) < workers.size()) {
+      workers[static_cast<std::size_t>(spec.fail_worker)].alive = false;
+    }
+    for (std::size_t round = 0; round < steps_per_worker_epoch; ++round) {
+      for (auto& wk : workers) {
+        if (!wk.alive) continue;
+        const std::size_t count =
+            std::min(spec.batch_size, wk.order.size() - wk.cursor);
+        std::span<const std::size_t> idx(wk.order.data() + wk.cursor, count);
+        wk.cursor = (wk.cursor + count) % wk.order.size();
+        const Tensor x = data.train.gather_tensor(idx);
+        std::vector<std::uint16_t> labels(count);
+        for (std::size_t i = 0; i < count; ++i) {
+          labels[i] = data.train.label(idx[i]);
+        }
+        const Tensor logits = wk.replica.forward(x, true);
+        const auto loss = softmax_cross_entropy(logits, labels);
+        wk.replica.zero_grads();
+        wk.replica.backward(loss.grad);
+        wk.optimizer->step(wk.replica);
+        ++wk.steps;
+        if (wk.steps % spec.tau == 0) {
+          // Elastic exchange with the center variable.
+          std::vector<float> x_i = wk.replica.flat_params();
+          for (std::size_t i = 0; i < dim; ++i) {
+            const float diff = x_i[i] - center[i];
+            x_i[i] -= beta * diff;
+            center[i] += beta * diff;
+          }
+          wk.replica.set_flat_params(x_i);
+          ++result.exchanges;
+        }
+      }
+    }
+    center_model.set_flat_params(center);
+    EpochStats es;
+    es.epoch = epoch;
+    es.end_time = static_cast<double>(epoch);
+    es.val_acc = evaluate_accuracy(center_model, data.validation);
+    es.test_acc = evaluate_accuracy(center_model, data.test);
+    es.mean_subtask_acc = es.val_acc;
+    es.min_subtask_acc = es.val_acc;
+    es.max_subtask_acc = es.val_acc;
+    es.results = spec.workers;
+    result.epochs.push_back(es);
+  }
+  return result;
+}
+
+}  // namespace vcdl

@@ -1,0 +1,38 @@
+// Asynchronous Elastic Averaging SGD baseline (Zhang et al., NIPS'15) — §II-B.
+//
+// Every τ local steps a worker and the server exchange an elastic pull:
+//   x_i ← x_i − β (x_i − x̃),   x̃ ← x̃ + β (x_i − x̃)
+// with moving rate β. The paper treats VC-ASGD with α = 0.999 as the analogue
+// of EASGD with moving rate 0.001 (§IV-C); this implementation provides the
+// actual rule so that equivalence can be demonstrated. Like Downpour, the
+// exchange requires every worker to keep participating — a failed worker
+// stalls its share of the elastic averaging, which the fault option shows.
+#pragma once
+
+#include "core/job.hpp"
+
+namespace vcdl {
+
+struct EasgdSpec {
+  SyntheticSpec data;
+  ResNetLiteSpec model;
+  std::size_t workers = 4;
+  std::size_t tau = 4;          // communication period (local steps)
+  double moving_rate = 0.05;    // β
+  std::size_t max_epochs = 8;
+  std::size_t batch_size = 20;
+  double learning_rate = 1e-3;
+  std::string optimizer = "adam";  // workers' local optimizer
+  int fail_worker = -1;
+  std::size_t fail_after_epoch = 2;
+  std::uint64_t seed = 7;
+};
+
+struct EasgdResult {
+  std::vector<EpochStats> epochs;
+  std::size_t exchanges = 0;
+};
+
+EasgdResult run_easgd_baseline(const EasgdSpec& spec);
+
+}  // namespace vcdl

@@ -1,0 +1,67 @@
+#include "core/baselines/serial.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/eval.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+
+namespace vcdl {
+
+SerialResult run_serial_baseline(const SerialSpec& spec) {
+  VCDL_CHECK(spec.max_epochs >= 1, "run_serial_baseline: max_epochs >= 1");
+  SyntheticSpec data_spec = spec.data;
+  data_spec.seed = mix64(spec.seed, 0xDA7A);  // same data as the VC trainer
+  const SyntheticData data = make_synthetic_cifar(data_spec);
+
+  Model model = make_resnet_lite(spec.model, mix64(spec.seed, 0x30DE1));
+  auto optimizer = make_optimizer(spec.optimizer, spec.learning_rate);
+  Rng rng(mix64(spec.seed, 0x5E21A1));
+
+  const InstanceType server = table1_catalog().server;
+  const double threads = std::min<double>(
+      static_cast<double>(spec.training_threads),
+      static_cast<double>(server.vcpus));
+  const SimTime epoch_time = spec.work_per_epoch / (server.clock_ghz * threads);
+
+  SerialResult result;
+  result.parameter_count = model.parameter_count();
+  std::vector<std::size_t> order(data.train.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  SimTime now = 0.0;
+  for (std::size_t epoch = 1; epoch <= spec.max_epochs; ++epoch) {
+    rng.shuffle(order.begin(), order.end());
+    for (std::size_t first = 0; first < order.size(); first += spec.batch_size) {
+      const std::size_t count = std::min(spec.batch_size, order.size() - first);
+      std::span<const std::size_t> idx(order.data() + first, count);
+      const Tensor x = data.train.gather_tensor(idx);
+      std::vector<std::uint16_t> labels(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        labels[i] = data.train.label(idx[i]);
+      }
+      const Tensor logits = model.forward(x, /*training=*/true);
+      const auto loss = softmax_cross_entropy(logits, labels);
+      model.zero_grads();
+      model.backward(loss.grad);
+      optimizer->step(model);
+    }
+    now += epoch_time;
+
+    EpochStats es;
+    es.epoch = epoch;
+    es.end_time = now;
+    es.val_acc = evaluate_accuracy(model, data.validation);
+    es.test_acc = evaluate_accuracy(model, data.test);
+    es.mean_subtask_acc = es.val_acc;  // one "subtask": the whole epoch
+    es.min_subtask_acc = es.val_acc;
+    es.max_subtask_acc = es.val_acc;
+    es.results = 1;
+    result.epochs.push_back(es);
+  }
+  result.duration_s = now;
+  return result;
+}
+
+}  // namespace vcdl

@@ -1,0 +1,37 @@
+// Serial single-instance synchronous training baseline (§IV-C, Fig. 6).
+//
+// The paper benchmarks distributed VC-ASGD against "the best possible
+// performance baseline": the same job trained synchronously on one standard
+// instance (same configuration as the server instance). Real SGD over the
+// full training set; virtual time charged from the instance compute model.
+#pragma once
+
+#include "core/job.hpp"
+
+namespace vcdl {
+
+struct SerialSpec {
+  SyntheticSpec data;
+  ResNetLiteSpec model;
+  std::size_t max_epochs = 12;
+  std::size_t batch_size = 20;
+  double learning_rate = 1e-3;
+  std::string optimizer = "adam";
+  /// Abstract work of one full pass over the training set. Defaults to the
+  /// distributed calibration: num_shards × work_per_subtask / local_epochs.
+  double work_per_epoch = 50.0 * 720.0 / 4.0;
+  /// Threads one training process effectively uses on the instance.
+  std::size_t training_threads = 6;
+  std::uint64_t seed = 7;
+};
+
+struct SerialResult {
+  std::vector<EpochStats> epochs;  // subtask fields mirror val_acc
+  SimTime duration_s = 0.0;
+  std::size_t parameter_count = 0;
+};
+
+/// Trains on the Table I server instance type. Deterministic in spec.seed.
+SerialResult run_serial_baseline(const SerialSpec& spec);
+
+}  // namespace vcdl

@@ -1,0 +1,26 @@
+// Model evaluation helpers over datasets.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+#include "nn/model.hpp"
+
+namespace vcdl {
+
+/// Classification accuracy of `model` on the whole dataset (batched).
+double evaluate_accuracy(Model& model, const Dataset& ds,
+                         std::size_t batch_size = 64);
+
+/// Accuracy on a fixed-size random subsample (used by parameter servers to
+/// keep per-assimilation validation cheap; 0 or >= ds.size() = full set).
+double evaluate_accuracy_subsample(Model& model, const Dataset& ds,
+                                   std::size_t subsample, Rng& rng,
+                                   std::size_t batch_size = 64);
+
+/// Mean cross-entropy loss on the dataset.
+double evaluate_loss(Model& model, const Dataset& ds,
+                     std::size_t batch_size = 64);
+
+}  // namespace vcdl

@@ -1,0 +1,130 @@
+// Experiment/job specification and result records.
+//
+// An ExperimentSpec captures everything a paper experiment varies: the
+// PnCnTn cluster shape, the VC-ASGD α schedule, the store kind, shard count,
+// preemption setting — plus the virtual-time calibration constants that map
+// our small substitute workload onto the paper's wall-clock scale (§IV-A:
+// t_e ≈ 2.4 min per subtask, ~8 h for P5C5T2 over 40 epochs).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/shards.hpp"
+#include "data/synthetic.hpp"
+#include "data/timeseries.hpp"
+#include "nn/model_zoo.hpp"
+#include "sim/availability.hpp"
+#include "sim/engine.hpp"
+#include "sim/network.hpp"
+
+namespace vcdl {
+
+struct ExperimentSpec {
+  // Cluster shape (the paper's Pn / Cn / Tn).
+  std::size_t parameter_servers = 3;  // Pn
+  std::size_t clients = 3;            // Cn
+  std::size_t tasks_per_client = 4;   // Tn
+
+  // VC-ASGD.
+  std::string alpha = "0.95";         // constant value or "var"
+
+  // Job shape.
+  std::size_t num_shards = 50;        // subtasks per epoch (paper: 50)
+  std::size_t max_epochs = 12;
+  double target_accuracy = 1.01;      // stop early when mean val acc reaches it
+  ShardPolicy shard_policy = ShardPolicy::iid;
+  std::size_t replication = 1;        // BOINC redundancy (paper uses 1)
+  /// Reliability-gated assignment threshold (§III-B); 0 disables the gate.
+  double reliability_gate = 0.0;
+
+  // Client-side local training.
+  std::size_t local_epochs = 4;       // passes over the shard per subtask
+  std::size_t batch_size = 10;
+  double learning_rate = 3e-3;        // paper: 1e-3; rescaled for the
+                                      // substitute workload (DESIGN.md)
+  std::string optimizer = "adam";
+
+  // Parameter store (§III-D / §IV-D).
+  std::string store = "eventual";     // or "strong"
+
+  // Data + model (substitution-scale defaults; see DESIGN.md §1).
+  // Workload: the paper's image-classification benchmark by default, or the
+  // §V time-series regime-classification task.
+  enum class Workload { image_classification, timeseries };
+  Workload workload = Workload::image_classification;
+  SyntheticSpec data;
+  TimeseriesSpec timeseries;
+  // Model: the residual CNN stand-in by default, or an MLP (the natural fit
+  // for the 1-D time-series inputs).
+  enum class ModelKind { resnet_lite, mlp };
+  ModelKind model_kind = ModelKind::resnet_lite;
+  ResNetLiteSpec model;
+  MlpSpec mlp{.inputs = 0, .hidden = {64, 32}, .classes = 10};
+
+  // Virtual-time calibration.
+  double work_per_subtask = 720.0;    // ⇒ ~144 s on a 2.5 GHz client at Tn=2
+  double validate_work = 60.0;        // PS validation compute per result
+  SimTime subtask_timeout_s = 300.0;  // the paper's t_o = 5 min
+  SimTime poll_interval_s = 10.0;
+  std::size_t validation_subsample = 96;   // images per per-result validation
+
+  // Fleet (§IV-E) and volunteer churn (§II-C).
+  AvailabilityModel availability;     // disabled = always-on cloud instances
+  bool preemptible = false;
+  double interruption_per_hour = 0.0;
+  SimTime preemption_downtime_s = 120.0;
+  NetworkModel network;
+
+  std::uint64_t seed = 7;
+  bool trace = false;
+
+  std::string label() const {
+    return "P" + std::to_string(parameter_servers) + "C" +
+           std::to_string(clients) + "T" + std::to_string(tasks_per_client);
+  }
+};
+
+/// Per-epoch series entry — one marker on the paper's accuracy/time curves.
+struct EpochStats {
+  std::size_t epoch = 0;        // 1-based
+  double alpha = 0.0;           // α used this epoch
+  SimTime end_time = 0.0;       // cumulative virtual seconds at epoch end
+  double mean_subtask_acc = 0;  // avg per-assimilation validation accuracy
+  double min_subtask_acc = 0;   // Fig. 4 error-bar bottom
+  double max_subtask_acc = 0;   // Fig. 4 error-bar top
+  double std_subtask_acc = 0;
+  double val_acc = 0;           // full validation-set accuracy at epoch end
+  double test_acc = 0;          // full test-set accuracy at epoch end
+  std::size_t results = 0;      // subtask results assimilated this epoch
+};
+
+struct RunTotals {
+  SimTime duration_s = 0.0;
+  double cost_standard_usd = 0.0;
+  double cost_preemptible_usd = 0.0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t preemptions = 0;
+  std::uint64_t lost_updates = 0;     // eventual-store clobbered writes
+  std::uint64_t store_reads = 0;
+  std::uint64_t store_writes = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t bytes_wire = 0;
+  std::uint64_t duplicates = 0;
+  std::size_t parameter_count = 0;
+};
+
+struct TrainResult {
+  ExperimentSpec spec;
+  std::vector<EpochStats> epochs;
+  RunTotals totals;
+
+  const EpochStats& final_epoch() const;
+  /// First epoch whose mean accuracy reaches `threshold` (0 = never).
+  std::size_t epochs_to_accuracy(double threshold) const;
+  /// Virtual time at which `threshold` accuracy was first reached (inf if never).
+  SimTime time_to_accuracy(double threshold) const;
+};
+
+}  // namespace vcdl

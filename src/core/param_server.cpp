@@ -1,0 +1,115 @@
+#include "core/param_server.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "core/eval.hpp"
+#include "core/vcasgd.hpp"
+#include "nn/model_io.hpp"
+#include "sim/engine.hpp"
+
+namespace vcdl {
+
+VcAsgdAssimilator::VcAsgdAssimilator(
+    SimEngine& engine, KvStore& store, FileServer& files, GridServer& server,
+    const AlphaSchedule& schedule, Model eval_model, const Dataset& validation,
+    InstanceType server_instance, Options options, TraceLog& trace, Rng rng,
+    std::function<void(std::size_t, double)> on_assimilated)
+    : engine_(engine), store_(store), files_(files), server_(server),
+      schedule_(schedule), eval_model_(std::move(eval_model)),
+      validation_(validation), server_instance_(std::move(server_instance)),
+      options_(std::move(options)), trace_(trace), rng_(rng),
+      on_assimilated_(std::move(on_assimilated)) {
+  VCDL_CHECK(on_assimilated_ != nullptr, "VcAsgdAssimilator: null callback");
+}
+
+void VcAsgdAssimilator::publish_initial(const std::vector<float>& params) {
+  published_ = params;
+  Blob blob = save_params(std::span<const float>(params));
+  store_.put(options_.params_key, blob, 0);
+  files_.publish(options_.params_key, std::move(blob), /*compress=*/true);
+}
+
+SimTime VcAsgdAssimilator::validation_time() const {
+  // Busy workers share the server instance's vCPUs; each wants ps_threads.
+  const std::size_t busy = std::max<std::size_t>(1, server_.active_assimilations());
+  const double share =
+      static_cast<double>(server_instance_.vcpus) / static_cast<double>(busy);
+  const double eff =
+      std::min(static_cast<double>(options_.ps_threads), share);
+  return options_.validate_work / (server_instance_.clock_ghz * eff);
+}
+
+void VcAsgdAssimilator::commit(const std::vector<float>& params,
+                               std::uint64_t read_version) {
+  Blob blob = save_params(std::span<const float>(params));
+  store_.put(options_.params_key, blob, read_version);
+  files_.publish(options_.params_key, std::move(blob), /*compress=*/true);
+  published_ = params;
+}
+
+void VcAsgdAssimilator::assimilate(ResultEnvelope env, std::size_t ps_index,
+                                   std::function<void()> on_done) {
+  const double alpha = schedule_.alpha(env.unit.epoch);
+  const auto shared_env = std::make_shared<ResultEnvelope>(std::move(env));
+  const auto done = std::make_shared<std::function<void()>>(std::move(on_done));
+  const std::string ps_name = "ps-" + std::to_string(ps_index);
+
+  if (store_.kind() == "strong") {
+    // MySQL-like: the read-blend-write is one serializable transaction; the
+    // virtual lock makes concurrent workers queue, then each pays the full
+    // 1.29 s update latency. Validation happens outside the transaction.
+    txn_lock_.acquire([this, shared_env, done, alpha, ps_name] {
+      engine_.schedule(store_.latency().update_s(), [this, shared_env, done,
+                                                     alpha, ps_name] {
+        const auto current = store_.get(options_.params_key);
+        VCDL_CHECK(current.has_value(), "assimilate: params missing from store");
+        std::vector<float> server_params = load_params(current->value);
+        const std::vector<float> client_params = load_params(shared_env->payload);
+        vcasgd_update(server_params, client_params, alpha);
+        commit(server_params, current->version);
+        txn_lock_.release();
+        // Validation of the committed parameters.
+        eval_model_.set_flat_params(server_params);
+        const double acc = evaluate_accuracy_subsample(
+            eval_model_, validation_, options_.validation_subsample, rng_);
+        engine_.schedule(validation_time(), [this, shared_env, done, acc] {
+          on_assimilated_(shared_env->unit.epoch, acc);
+          (*done)();
+        });
+      });
+    });
+    return;
+  }
+
+  // Redis-like (eventual): read and write are independent events separated
+  // only by the store latencies; two workers whose windows overlap clobber
+  // each other (lost updates), exactly as in §III-D. Validation happens
+  // *after* the write, outside the race window, as in the paper's pipeline
+  // ("after assimilating ... the parameter server computes the validation
+  // accuracy").
+  engine_.schedule(store_.latency().read_s, [this, shared_env, done, alpha,
+                                             ps_name] {
+    const auto current = store_.get(options_.params_key);
+    VCDL_CHECK(current.has_value(), "assimilate: params missing from store");
+    auto server_params =
+        std::make_shared<std::vector<float>>(load_params(current->value));
+    const std::vector<float> client_params = load_params(shared_env->payload);
+    vcasgd_update(*server_params, client_params, alpha);
+    const std::uint64_t read_version = current->version;
+    engine_.schedule(store_.latency().write_s, [this, shared_env, done,
+                                                server_params, read_version] {
+      commit(*server_params, read_version);
+      // Validate the committed copy (real forward passes, virtual duration).
+      eval_model_.set_flat_params(*server_params);
+      const double acc = evaluate_accuracy_subsample(
+          eval_model_, validation_, options_.validation_subsample, rng_);
+      engine_.schedule(validation_time(), [this, shared_env, done, acc] {
+        on_assimilated_(shared_env->unit.epoch, acc);
+        (*done)();
+      });
+    });
+  });
+}
+
+}  // namespace vcdl

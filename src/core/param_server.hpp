@@ -1,0 +1,82 @@
+// VC-ASGD parameter server (assimilator backend) — §III-C, §III-D.
+//
+// Each of the Pn parameter-server workers processes results handed to it by
+// the grid server. For one result the worker:
+//   1. reads the shared server parameter copy W_s from the store,
+//   2. applies Eq. (1)  W_s ← α·W_s + (1−α)·W_c  (real arithmetic),
+//   3. computes the validation accuracy of the new W_s (real forward passes;
+//      virtual duration models CPU contention between concurrently busy
+//      workers on the shared server instance),
+//   4. writes W_s back and republishes the parameter file for clients.
+//
+// With the *eventual* store, steps 1 and 4 are separate virtual-time events,
+// so two overlapping workers race exactly like concurrent Redis clients and
+// the loser's blend is silently clobbered (counted by the store). With the
+// *strong* store, the read-blend-write is one transaction serialized on a
+// virtual lock, reproducing MySQL's behaviour and its 1.29 s update latency.
+#pragma once
+
+#include <functional>
+
+#include "common/rng.hpp"
+#include "core/alpha_schedule.hpp"
+#include "data/dataset.hpp"
+#include "grid/file_server.hpp"
+#include "grid/server.hpp"
+#include "nn/model.hpp"
+#include "sim/instance.hpp"
+#include "sim/resource.hpp"
+#include "storage/kvstore.hpp"
+
+namespace vcdl {
+
+class VcAsgdAssimilator : public AssimilatorBackend {
+ public:
+  struct Options {
+    double validate_work = 110.0;          // abstract compute per validation
+    std::size_t validation_subsample = 128;
+    std::size_t ps_threads = 2;            // vCPUs one validation can use
+    std::string params_key = "params";
+  };
+
+  /// `on_assimilated(epoch, subtask_val_acc)` fires once per assimilated
+  /// result, after the store write lands.
+  VcAsgdAssimilator(SimEngine& engine, KvStore& store, FileServer& files,
+                    GridServer& server, const AlphaSchedule& schedule,
+                    Model eval_model, const Dataset& validation,
+                    InstanceType server_instance, Options options,
+                    TraceLog& trace, Rng rng,
+                    std::function<void(std::size_t, double)> on_assimilated);
+
+  void assimilate(ResultEnvelope env, std::size_t ps_index,
+                  std::function<void()> on_done) override;
+
+  /// Latest parameter vector written by any worker (the published copy that
+  /// clients train from; kept in sync with the file server blob).
+  const std::vector<float>& published_params() const { return published_; }
+
+  /// Seeds the store + published copy + parameter file with initial weights.
+  void publish_initial(const std::vector<float>& params);
+
+ private:
+  /// Virtual seconds one validation takes given current worker contention.
+  SimTime validation_time() const;
+  void commit(const std::vector<float>& params, std::uint64_t read_version);
+
+  SimEngine& engine_;
+  KvStore& store_;
+  FileServer& files_;
+  GridServer& server_;
+  const AlphaSchedule& schedule_;
+  Model eval_model_;
+  const Dataset& validation_;
+  InstanceType server_instance_;
+  Options options_;
+  TraceLog& trace_;
+  Rng rng_;
+  std::function<void(std::size_t, double)> on_assimilated_;
+  SimMutex txn_lock_;  // strong-store transaction serialization
+  std::vector<float> published_;
+};
+
+}  // namespace vcdl

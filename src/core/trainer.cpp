@@ -1,0 +1,250 @@
+#include "core/trainer.hpp"
+
+#include <map>
+#include <memory>
+#include <numeric>
+
+#include "common/log.hpp"
+#include "common/stats.hpp"
+#include "core/eval.hpp"
+#include "core/param_server.hpp"
+#include "core/work_generator.hpp"
+#include "grid/client.hpp"
+#include "nn/loss.hpp"
+#include "nn/model_io.hpp"
+#include "nn/optimizer.hpp"
+#include "sim/cost.hpp"
+#include "storage/kvstore.hpp"
+
+namespace vcdl {
+namespace {
+constexpr SimTime kTimeoutSweepPeriod = 15.0;
+}
+
+VcTrainer::VcTrainer(ExperimentSpec spec) : spec_(std::move(spec)) {
+  VCDL_CHECK(spec_.parameter_servers >= 1, "VcTrainer: Pn >= 1");
+  VCDL_CHECK(spec_.clients >= 1, "VcTrainer: Cn >= 1");
+  VCDL_CHECK(spec_.tasks_per_client >= 1, "VcTrainer: Tn >= 1");
+  VCDL_CHECK(spec_.max_epochs >= 1, "VcTrainer: max_epochs >= 1");
+}
+
+TrainResult VcTrainer::run() {
+  trace_.clear();
+  trace_.set_enabled(spec_.trace);
+  Rng master(spec_.seed);
+
+  // --- Data, shards, model --------------------------------------------------
+  const SyntheticData data = [this] {
+    if (spec_.workload == ExperimentSpec::Workload::timeseries) {
+      TimeseriesSpec ts = spec_.timeseries;
+      ts.seed = mix64(spec_.seed, 0xDA7A);
+      return make_regime_timeseries(ts);
+    }
+    SyntheticSpec images = spec_.data;
+    images.seed = mix64(spec_.seed, 0xDA7A);
+    return make_synthetic_cifar(images);
+  }();
+  const ShardSet shards = make_shards(data.train, spec_.num_shards,
+                                      spec_.shard_policy,
+                                      mix64(spec_.seed, 0x5AAD));
+
+  Model template_model = [this, &data] {
+    if (spec_.model_kind == ExperimentSpec::ModelKind::mlp) {
+      MlpSpec mlp = spec_.mlp;
+      if (mlp.inputs == 0) mlp.inputs = data.train.pixels_per_image();
+      mlp.classes = data.train.classes();
+      return make_mlp(mlp, mix64(spec_.seed, 0x30DE1));
+    }
+    return make_resnet_lite(spec_.model, mix64(spec_.seed, 0x30DE1));
+  }();
+  const std::vector<float> initial_params = template_model.flat_params();
+
+  // --- Infrastructure --------------------------------------------------------
+  SimEngine engine;
+  auto store = make_store(spec_.store);
+  FileServer files;
+  Scheduler scheduler;
+  if (spec_.reliability_gate > 0.0) {
+    scheduler.set_reliability_gate(spec_.reliability_gate);
+  }
+
+  const FleetCatalog catalog = table1_catalog();
+  const std::vector<InstanceType> fleet = make_client_fleet(
+      catalog, spec_.clients, spec_.preemptible, spec_.interruption_per_hour);
+
+  const ResultValidator validator = [](const Blob& payload) {
+    try {
+      load_params(payload);
+      return true;
+    } catch (const Error&) {
+      return false;
+    }
+  };
+  GridServer server(engine, scheduler, trace_, spec_.parameter_servers,
+                    validator);
+
+  WorkGenerator::Options wg_opts;
+  wg_opts.num_shards = spec_.num_shards;
+  wg_opts.subtask_timeout_s = spec_.subtask_timeout_s;
+  wg_opts.replication = spec_.replication;
+  WorkGenerator work_gen(scheduler, files, trace_, engine, wg_opts);
+
+  std::vector<Blob> shard_blobs;
+  shard_blobs.reserve(shards.count());
+  for (const auto& shard : shards.shards) shard_blobs.push_back(shard.encode());
+  work_gen.publish_static(save_architecture(template_model),
+                          std::move(shard_blobs));
+
+  // --- Result accounting / epoch state machine ------------------------------
+  struct EpochAccumulator {
+    RunningStats acc;
+    std::size_t results = 0;
+  };
+  std::map<std::size_t, EpochAccumulator> per_epoch;
+  TrainResult result;
+  result.spec = spec_;
+  bool running = true;
+  SimTime job_end_time = 0.0;
+  Model eval_model = template_model;  // reused for epoch-end full evaluation
+
+  VcAsgdAssimilator::Options ps_opts;
+  ps_opts.validate_work = spec_.validate_work;
+  ps_opts.validation_subsample = spec_.validation_subsample;
+  const auto schedule = make_alpha_schedule(spec_.alpha);
+
+  std::vector<std::unique_ptr<SimClient>> clients;
+
+  VcAsgdAssimilator assimilator(
+      engine, *store, files, server, *schedule, template_model,
+      data.validation, catalog.server, ps_opts, trace_,
+      master.fork(0xEAA1),
+      [&](std::size_t epoch, double subtask_acc) {
+        auto& acc = per_epoch[epoch];
+        acc.acc.add(subtask_acc);
+        ++acc.results;
+        if (acc.results < spec_.num_shards || !running) return;
+        // Epoch complete: evaluate the authoritative parameter copy.
+        eval_model.set_flat_params(assimilator.published_params());
+        EpochStats es;
+        es.epoch = epoch;
+        es.alpha = schedule->alpha(epoch);
+        es.end_time = engine.now();
+        es.mean_subtask_acc = acc.acc.mean();
+        es.min_subtask_acc = acc.acc.min();
+        es.max_subtask_acc = acc.acc.max();
+        es.std_subtask_acc = acc.acc.stddev();
+        es.val_acc = evaluate_accuracy(eval_model, data.validation);
+        es.test_acc = evaluate_accuracy(eval_model, data.test);
+        es.results = acc.results;
+        result.epochs.push_back(es);
+        trace_.record(engine.now(), TraceKind::epoch_done, "work-generator",
+                      "epoch " + std::to_string(epoch) + " acc " +
+                          std::to_string(es.mean_subtask_acc));
+        VCDL_INFO(spec_.label() << " epoch " << epoch << " t="
+                                << engine.now() / 3600.0 << "h mean_acc="
+                                << es.mean_subtask_acc);
+        const bool reached = es.mean_subtask_acc >= spec_.target_accuracy;
+        if (epoch < spec_.max_epochs && !reached) {
+          work_gen.generate_epoch(epoch + 1);
+        } else {
+          running = false;
+          job_end_time = engine.now();
+          trace_.record(engine.now(), TraceKind::job_done, "work-generator");
+          for (auto& c : clients) c->stop();
+        }
+      });
+  server.set_backend(&assimilator);
+  assimilator.publish_initial(initial_params);
+
+  // --- Client training callback ----------------------------------------------
+  Model worker_model = template_model;  // scratch replica (DES is serial)
+  std::uint64_t subtask_counter = 0;
+  const ExecuteFn execute = [&](const Workunit& unit,
+                                ClientId client) -> ExecOutcome {
+    (void)client;
+    VCDL_CHECK(unit.shard < shards.count(), "execute: shard out of range");
+    const Dataset& shard = shards.shards[unit.shard];
+    worker_model.set_flat_params(assimilator.published_params());
+    auto optimizer = make_optimizer(spec_.optimizer, spec_.learning_rate);
+    Rng task_rng = master.fork(0xE0E0 + (++subtask_counter));
+    std::vector<std::size_t> order(shard.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    for (std::size_t pass = 0; pass < spec_.local_epochs; ++pass) {
+      task_rng.shuffle(order.begin(), order.end());
+      for (std::size_t first = 0; first < order.size();
+           first += spec_.batch_size) {
+        const std::size_t count =
+            std::min(spec_.batch_size, order.size() - first);
+        std::span<const std::size_t> idx(order.data() + first, count);
+        const Tensor x = shard.gather_tensor(idx);
+        std::vector<std::uint16_t> labels(count);
+        for (std::size_t i = 0; i < count; ++i) labels[i] = shard.label(idx[i]);
+        const Tensor logits = worker_model.forward(x, /*training=*/true);
+        const auto loss = softmax_cross_entropy(logits, labels);
+        worker_model.zero_grads();
+        worker_model.backward(loss.grad);
+        optimizer->step(worker_model);
+      }
+    }
+    return ExecOutcome{save_params(worker_model), spec_.work_per_subtask};
+  };
+
+  // --- Clients ----------------------------------------------------------------
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    ClientConfig cc;
+    cc.max_concurrent = spec_.tasks_per_client;
+    cc.poll_interval_s = spec_.poll_interval_s;
+    cc.preemption.interruptions_per_hour =
+        spec_.preemptible ? spec_.interruption_per_hour : 0.0;
+    cc.preemption.downtime_s = spec_.preemption_downtime_s;
+    cc.availability = spec_.availability;
+    clients.push_back(std::make_unique<SimClient>(
+        i, fleet[i], cc, engine, spec_.network, catalog.server, files,
+        scheduler, server, trace_, master.fork(0xC11E + i), execute));
+  }
+
+  // --- Timeout sweep (drives the BOINC deadline-reassignment loop) -----------
+  std::function<void()> sweep = [&] {
+    if (!running) return;
+    const auto expired = scheduler.expire_deadlines(engine.now());
+    for (const auto id : expired) {
+      trace_.record(engine.now(), TraceKind::timeout_reassign, "scheduler",
+                    "wu#" + std::to_string(id));
+    }
+    engine.schedule(kTimeoutSweepPeriod, sweep);
+  };
+
+  // --- Go ---------------------------------------------------------------------
+  work_gen.generate_epoch(1);
+  for (auto& c : clients) c->start();
+  engine.schedule(kTimeoutSweepPeriod, sweep);
+  engine.run();
+  VCDL_CHECK(!running, "VcTrainer: simulation drained before job completion");
+
+  // --- Totals -----------------------------------------------------------------
+  CostLedger ledger;
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    ledger.add_usage(fleet[i], job_end_time);
+  }
+  result.totals.duration_s = job_end_time;
+  result.totals.cost_standard_usd = ledger.standard_cost_usd();
+  result.totals.cost_preemptible_usd = ledger.preemptible_cost_usd();
+  result.totals.timeouts = scheduler.stats().timeouts;
+  for (const auto& c : clients) {
+    result.totals.preemptions += c->stats().preemptions;
+  }
+  result.totals.lost_updates = store->stats().lost_updates;
+  result.totals.store_reads = store->stats().reads;
+  result.totals.store_writes = store->stats().writes;
+  result.totals.cache_hits = files.stats().cache_hits;
+  result.totals.bytes_wire = files.stats().bytes_wire;
+  result.totals.duplicates = server.stats().duplicates;
+  result.totals.parameter_count = template_model.parameter_count();
+  return result;
+}
+
+TrainResult run_experiment(const ExperimentSpec& spec) {
+  return VcTrainer(spec).run();
+}
+
+}  // namespace vcdl

@@ -1,0 +1,34 @@
+// End-to-end VC-ASGD training driver.
+//
+// VcTrainer assembles the full system of Fig. 1 — synthetic dataset + shards,
+// model, parameter store, file server, scheduler, grid server with Pn
+// parameter-server workers, Cn (possibly preemptible) client daemons — runs
+// the job in virtual time, and returns the per-epoch accuracy/time series
+// the paper's figures plot.
+#pragma once
+
+#include "core/job.hpp"
+#include "sim/trace.hpp"
+
+namespace vcdl {
+
+class VcTrainer {
+ public:
+  explicit VcTrainer(ExperimentSpec spec);
+
+  /// Runs the job to completion (target accuracy or max_epochs).
+  /// Deterministic in spec.seed.
+  TrainResult run();
+
+  /// Trace of the last run (populated when spec.trace is true).
+  const TraceLog& trace() const { return trace_; }
+
+ private:
+  ExperimentSpec spec_;
+  TraceLog trace_;
+};
+
+/// Convenience wrapper used by benches/examples.
+TrainResult run_experiment(const ExperimentSpec& spec);
+
+}  // namespace vcdl

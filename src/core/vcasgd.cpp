@@ -1,0 +1,45 @@
+#include "core/vcasgd.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace vcdl {
+
+void vcasgd_update(std::span<float> server, std::span<const float> client,
+                   double alpha) {
+  VCDL_CHECK(server.size() == client.size(),
+             "vcasgd_update: parameter size mismatch");
+  VCDL_CHECK(alpha >= 0.0 && alpha <= 1.0, "vcasgd_update: alpha out of [0,1]");
+  ops::blend(static_cast<float>(alpha), server, client, server);
+}
+
+std::vector<float> vcasgd_closed_form(
+    std::span<const float> server_prev,
+    const std::vector<std::vector<float>>& client_updates, double alpha) {
+  const std::size_t dim = server_prev.size();
+  const auto n = client_updates.size();
+  std::vector<double> acc(dim);
+  const double a_pow_n = std::pow(alpha, static_cast<double>(n));
+  for (std::size_t i = 0; i < dim; ++i) {
+    acc[i] = a_pow_n * static_cast<double>(server_prev[i]);
+  }
+  // Note: the paper's Eq. (2) omits the per-term α^{n−j} factors that the
+  // recursion in Eq. (1) actually produces; this is the algebraically
+  // correct expansion (tests verify it against the iterated Eq. (1)).
+  for (std::size_t j = 0; j < n; ++j) {
+    VCDL_CHECK(client_updates[j].size() == dim,
+               "vcasgd_closed_form: update size mismatch");
+    const double w =
+        (1.0 - alpha) * std::pow(alpha, static_cast<double>(n - 1 - j));
+    for (std::size_t i = 0; i < dim; ++i) {
+      acc[i] += w * static_cast<double>(client_updates[j][i]);
+    }
+  }
+  std::vector<float> out(dim);
+  for (std::size_t i = 0; i < dim; ++i) out[i] = static_cast<float>(acc[i]);
+  return out;
+}
+
+}  // namespace vcdl

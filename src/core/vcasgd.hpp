@@ -1,0 +1,25 @@
+// The VC-ASGD parameter update (Eq. (1)/(2) of the paper).
+//
+// The server assimilates each client parameter copy the moment it arrives,
+// regardless of order, and never waits for all subtasks — that is what makes
+// the scheme fault tolerant in a volunteer-computing setting.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace vcdl {
+
+/// Eq. (1): server ← α·server + (1−α)·client, in place.
+void vcasgd_update(std::span<float> server, std::span<const float> client,
+                   double alpha);
+
+/// Eq. (2) closed form: starting from `server_prev`, applying Eq. (1) once
+/// per entry of `client_updates` (in order) yields
+///   α^n · W_{s,e−1} + (1−α) · Σ_j α^{n−j} · W_{c,j}.
+/// Used by tests to check the iterated update against the algebra.
+std::vector<float> vcasgd_closed_form(
+    std::span<const float> server_prev,
+    const std::vector<std::vector<float>>& client_updates, double alpha);
+
+}  // namespace vcdl

@@ -1,0 +1,50 @@
+#include "core/work_generator.hpp"
+
+#include "common/error.hpp"
+#include "sim/engine.hpp"
+
+namespace vcdl {
+
+WorkGenerator::WorkGenerator(Scheduler& scheduler, FileServer& files,
+                             TraceLog& trace, SimEngine& engine,
+                             Options options)
+    : scheduler_(scheduler), files_(files), trace_(trace), engine_(engine),
+      options_(std::move(options)) {
+  VCDL_CHECK(options_.num_shards >= 1, "WorkGenerator: need >= 1 shard");
+  VCDL_CHECK(options_.replication >= 1, "WorkGenerator: replication >= 1");
+}
+
+void WorkGenerator::publish_static(Blob arch, std::vector<Blob> shard_blobs) {
+  VCDL_CHECK(shard_blobs.size() == options_.num_shards,
+             "WorkGenerator: shard blob count mismatch");
+  files_.publish(options_.arch_file, std::move(arch), /*compress=*/true);
+  for (std::size_t s = 0; s < shard_blobs.size(); ++s) {
+    files_.publish(shard_file(s), std::move(shard_blobs[s]), /*compress=*/true);
+  }
+}
+
+void WorkGenerator::generate_epoch(std::size_t epoch) {
+  VCDL_CHECK(epoch == epochs_generated_ + 1,
+             "WorkGenerator: epochs must be generated in order");
+  VCDL_CHECK(files_.has(options_.params_file),
+             "WorkGenerator: parameter file not published yet");
+  for (std::size_t s = 0; s < options_.num_shards; ++s) {
+    Workunit wu;
+    wu.id = next_id_++;
+    wu.epoch = epoch;
+    wu.shard = s;
+    wu.deadline_s = options_.subtask_timeout_s;
+    wu.replication = options_.replication;
+    // The architecture file and the data shard are sticky (cacheable); the
+    // parameter copy changes with every assimilation and is always fetched.
+    wu.inputs = {FileRef{options_.arch_file, /*sticky=*/true},
+                 FileRef{options_.params_file, /*sticky=*/false},
+                 FileRef{shard_file(s), /*sticky=*/true}};
+    scheduler_.add_unit(wu);
+    trace_.record(engine_.now(), TraceKind::work_generated, "work-generator",
+                  wu.label());
+  }
+  ++epochs_generated_;
+}
+
+}  // namespace vcdl

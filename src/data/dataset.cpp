@@ -1,0 +1,97 @@
+#include "data/dataset.hpp"
+
+namespace vcdl {
+namespace {
+constexpr std::uint32_t kMagic = 0x56434431;  // "VCD1"
+}
+
+Dataset::Dataset(std::size_t channels, std::size_t height, std::size_t width,
+                 std::size_t classes)
+    : channels_(channels), height_(height), width_(width), classes_(classes) {
+  VCDL_CHECK(channels > 0 && height > 0 && width > 0 && classes > 0,
+             "Dataset: bad dimensions");
+}
+
+void Dataset::add(std::span<const std::uint8_t> pixels, std::uint16_t label) {
+  VCDL_CHECK(pixels.size() == pixels_per_image(),
+             "Dataset::add: wrong pixel count");
+  VCDL_CHECK(label < classes_, "Dataset::add: label out of range");
+  pixels_.insert(pixels_.end(), pixels.begin(), pixels.end());
+  labels_.push_back(label);
+}
+
+std::span<const std::uint8_t> Dataset::image(std::size_t i) const {
+  VCDL_CHECK(i < size(), "Dataset::image: index out of range");
+  return {pixels_.data() + i * pixels_per_image(), pixels_per_image()};
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  Dataset out(channels_, height_, width_, classes_);
+  out.pixels_.reserve(indices.size() * pixels_per_image());
+  out.labels_.reserve(indices.size());
+  for (const std::size_t i : indices) out.add(image(i), label(i));
+  return out;
+}
+
+Tensor Dataset::batch_tensor(std::size_t first, std::size_t count) const {
+  VCDL_CHECK(first + count <= size(), "batch_tensor: range out of bounds");
+  Tensor t(Shape{count, channels_, height_, width_});
+  const std::size_t ppi = pixels_per_image();
+  float* out = t.data();
+  const std::uint8_t* in = pixels_.data() + first * ppi;
+  for (std::size_t i = 0; i < count * ppi; ++i) {
+    out[i] = static_cast<float>(in[i]) * (2.0f / 255.0f) - 1.0f;
+  }
+  return t;
+}
+
+std::span<const std::uint16_t> Dataset::batch_labels(std::size_t first,
+                                                     std::size_t count) const {
+  VCDL_CHECK(first + count <= size(), "batch_labels: range out of bounds");
+  return {labels_.data() + first, count};
+}
+
+Tensor Dataset::gather_tensor(std::span<const std::size_t> indices) const {
+  Tensor t(Shape{indices.size(), channels_, height_, width_});
+  const std::size_t ppi = pixels_per_image();
+  float* out = t.data();
+  for (std::size_t n = 0; n < indices.size(); ++n) {
+    const auto img = image(indices[n]);
+    for (std::size_t i = 0; i < ppi; ++i) {
+      out[n * ppi + i] = static_cast<float>(img[i]) * (2.0f / 255.0f) - 1.0f;
+    }
+  }
+  return t;
+}
+
+Blob Dataset::encode() const {
+  BinaryWriter w;
+  w.write(kMagic);
+  w.write_varint(channels_);
+  w.write_varint(height_);
+  w.write_varint(width_);
+  w.write_varint(classes_);
+  w.write_span(std::span<const std::uint16_t>(labels_));
+  w.write_span(std::span<const std::uint8_t>(pixels_));
+  return w.take();
+}
+
+Dataset Dataset::decode(const Blob& blob) {
+  BinaryReader r(blob);
+  if (r.read<std::uint32_t>() != kMagic) {
+    throw CorruptData("Dataset::decode: bad magic");
+  }
+  const auto channels = r.read_varint();
+  const auto height = r.read_varint();
+  const auto width = r.read_varint();
+  const auto classes = r.read_varint();
+  Dataset out(channels, height, width, classes);
+  out.labels_ = r.read_vector<std::uint16_t>();
+  out.pixels_ = r.read_vector<std::uint8_t>();
+  if (out.pixels_.size() != out.labels_.size() * out.pixels_per_image()) {
+    throw CorruptData("Dataset::decode: pixel/label count mismatch");
+  }
+  return out;
+}
+
+}  // namespace vcdl

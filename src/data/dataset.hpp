@@ -1,0 +1,62 @@
+// Labeled image dataset in CHW uint8 layout.
+//
+// This is the reproduction's analogue of the paper's CIFAR10 benchmark data:
+// images are stored as raw uint8 (so shard blobs compress like .npz files),
+// and batches are materialized into float tensors scaled to [-1, 1] at
+// training time.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/blob.hpp"
+#include "tensor/tensor.hpp"
+
+namespace vcdl {
+
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(std::size_t channels, std::size_t height, std::size_t width,
+          std::size_t classes);
+
+  std::size_t size() const { return labels_.size(); }
+  bool empty() const { return labels_.empty(); }
+  std::size_t channels() const { return channels_; }
+  std::size_t height() const { return height_; }
+  std::size_t width() const { return width_; }
+  std::size_t classes() const { return classes_; }
+  std::size_t pixels_per_image() const { return channels_ * height_ * width_; }
+
+  /// Appends one image; pixel count must equal pixels_per_image().
+  void add(std::span<const std::uint8_t> pixels, std::uint16_t label);
+
+  std::span<const std::uint8_t> image(std::size_t i) const;
+  std::uint16_t label(std::size_t i) const { return labels_[i]; }
+  std::span<const std::uint16_t> labels() const { return {labels_}; }
+
+  /// Subset by indices (copies the selected images).
+  Dataset subset(std::span<const std::size_t> indices) const;
+
+  /// Materializes images [first, first+count) as a [count, C, H, W] float
+  /// tensor scaled to [-1, 1], plus the matching labels.
+  Tensor batch_tensor(std::size_t first, std::size_t count) const;
+  std::span<const std::uint16_t> batch_labels(std::size_t first,
+                                              std::size_t count) const;
+
+  /// Materializes an arbitrary index set as a batch.
+  Tensor gather_tensor(std::span<const std::size_t> indices) const;
+
+  /// Serialization (the shard .npz analogue). encode() is uncompressed; the
+  /// file server applies the wire codec.
+  Blob encode() const;
+  static Dataset decode(const Blob& blob);
+
+ private:
+  std::size_t channels_ = 0, height_ = 0, width_ = 0, classes_ = 0;
+  std::vector<std::uint8_t> pixels_;
+  std::vector<std::uint16_t> labels_;
+};
+
+}  // namespace vcdl

@@ -1,0 +1,68 @@
+#include "data/shards.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.hpp"
+
+namespace vcdl {
+
+std::size_t ShardSet::total_samples() const {
+  std::size_t n = 0;
+  for (const auto& s : shards) n += s.size();
+  return n;
+}
+
+ShardSet make_shards(const Dataset& train, std::size_t num_shards,
+                     ShardPolicy policy, std::uint64_t seed) {
+  VCDL_CHECK(num_shards > 0, "make_shards: need at least one shard");
+  VCDL_CHECK(train.size() >= num_shards,
+             "make_shards: fewer samples than shards");
+
+  std::vector<std::size_t> order(train.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  Rng rng(seed);
+  switch (policy) {
+    case ShardPolicy::iid:
+      rng.shuffle(order.begin(), order.end());
+      break;
+    case ShardPolicy::label_skew:
+      // Stable sort by label keeps generation order within a class; chunks
+      // then contain one (or few) classes each.
+      std::stable_sort(order.begin(), order.end(),
+                       [&train](std::size_t a, std::size_t b) {
+                         return train.label(a) < train.label(b);
+                       });
+      break;
+  }
+
+  ShardSet out;
+  out.policy = policy;
+  out.shards.reserve(num_shards);
+  const std::size_t base = train.size() / num_shards;
+  const std::size_t extra = train.size() % num_shards;
+  std::size_t pos = 0;
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    const std::size_t len = base + (s < extra ? 1 : 0);
+    out.shards.push_back(train.subset(
+        std::span<const std::size_t>(order.data() + pos, len)));
+    pos += len;
+  }
+  return out;
+}
+
+std::vector<std::size_t> label_histogram(const Dataset& ds) {
+  std::vector<std::size_t> hist(ds.classes(), 0);
+  for (std::size_t i = 0; i < ds.size(); ++i) ++hist[ds.label(i)];
+  return hist;
+}
+
+const char* shard_policy_name(ShardPolicy policy) {
+  switch (policy) {
+    case ShardPolicy::iid: return "iid";
+    case ShardPolicy::label_skew: return "label_skew";
+  }
+  return "?";
+}
+
+}  // namespace vcdl

@@ -1,0 +1,39 @@
+// Dataset sharding for data-parallel training.
+//
+// The paper's work generator "splits the training dataset into subsets"
+// (50 subsets of CIFAR10, §IV-A) and creates one training subtask per subset
+// per epoch. VCDL supports the paper's i.i.d. split plus a non-IID label-skew
+// split (Dirichlet-free contiguous-by-label chunks) used by the ablations:
+// label skew amplifies the client-drift/"unlearning" effect §IV-C analyzes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace vcdl {
+
+enum class ShardPolicy {
+  iid,        // global shuffle then round-robin — the paper's setting
+  label_skew, // sort by label, contiguous chunks — worst-case heterogeneity
+};
+
+struct ShardSet {
+  std::vector<Dataset> shards;
+  ShardPolicy policy = ShardPolicy::iid;
+
+  std::size_t count() const { return shards.size(); }
+  std::size_t total_samples() const;
+};
+
+/// Splits `train` into `num_shards` near-equal shards.
+ShardSet make_shards(const Dataset& train, std::size_t num_shards,
+                     ShardPolicy policy, std::uint64_t seed);
+
+/// Label histogram of a shard (used by tests and the non-IID ablation).
+std::vector<std::size_t> label_histogram(const Dataset& ds);
+
+const char* shard_policy_name(ShardPolicy policy);
+
+}  // namespace vcdl

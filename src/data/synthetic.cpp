@@ -1,0 +1,131 @@
+#include "data/synthetic.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace vcdl {
+namespace {
+
+constexpr std::size_t kCoarse = 4;   // low-frequency field resolution
+constexpr std::size_t kModes = 2;    // intra-class archetype modes
+
+// Smooth field: kCoarse×kCoarse random grid bilinearly upsampled to h×w.
+std::vector<float> smooth_field(std::size_t h, std::size_t w, Rng& rng,
+                                float lo, float hi) {
+  std::array<float, kCoarse * kCoarse> grid;
+  for (auto& g : grid) g = static_cast<float>(rng.uniform(lo, hi));
+  std::vector<float> out(h * w);
+  for (std::size_t y = 0; y < h; ++y) {
+    const float fy = static_cast<float>(y) / static_cast<float>(h - 1) *
+                     static_cast<float>(kCoarse - 1);
+    const auto y0 = static_cast<std::size_t>(fy);
+    const std::size_t y1 = std::min(y0 + 1, kCoarse - 1);
+    const float ty = fy - static_cast<float>(y0);
+    for (std::size_t x = 0; x < w; ++x) {
+      const float fx = static_cast<float>(x) / static_cast<float>(w - 1) *
+                       static_cast<float>(kCoarse - 1);
+      const auto x0 = static_cast<std::size_t>(fx);
+      const std::size_t x1 = std::min(x0 + 1, kCoarse - 1);
+      const float tx = fx - static_cast<float>(x0);
+      const float top = grid[y0 * kCoarse + x0] * (1 - tx) + grid[y0 * kCoarse + x1] * tx;
+      const float bot = grid[y1 * kCoarse + x0] * (1 - tx) + grid[y1 * kCoarse + x1] * tx;
+      out[y * w + x] = top * (1 - ty) + bot * ty;
+    }
+  }
+  return out;
+}
+
+struct Archetypes {
+  // [class][mode][channel] → h*w field.
+  std::vector<std::vector<std::vector<std::vector<float>>>> fields;
+};
+
+Archetypes make_archetypes(const SyntheticSpec& spec, Rng& rng) {
+  Archetypes a;
+  a.fields.resize(spec.classes);
+  for (std::size_t c = 0; c < spec.classes; ++c) {
+    a.fields[c].resize(kModes);
+    for (std::size_t m = 0; m < kModes; ++m) {
+      a.fields[c][m].resize(spec.channels);
+      for (std::size_t ch = 0; ch < spec.channels; ++ch) {
+        a.fields[c][m][ch] = smooth_field(spec.height, spec.width, rng, 40.0f, 215.0f);
+      }
+    }
+  }
+  return a;
+}
+
+// Samples an image of class `c` into `pixels` (CHW uint8).
+void sample_image(const SyntheticSpec& spec, const Archetypes& arch,
+                  std::size_t c, Rng& rng, std::vector<std::uint8_t>& pixels) {
+  const std::size_t h = spec.height, w = spec.width;
+  const std::size_t mode = rng.uniform_index(kModes);
+  const int dx = static_cast<int>(rng.uniform_int(-2, 2));
+  const int dy = static_cast<int>(rng.uniform_int(-2, 2));
+  const float gain = static_cast<float>(rng.uniform(0.75, 1.25));
+  const float bias = static_cast<float>(rng.uniform(-18.0, 18.0));
+  const auto noise_smooth_amp = static_cast<float>(spec.difficulty * 70.0);
+  const auto noise_pixel_amp = static_cast<float>(spec.difficulty * 45.0);
+
+  for (std::size_t ch = 0; ch < spec.channels; ++ch) {
+    const auto& field = arch.fields[c][mode][ch];
+    const auto noise = smooth_field(h, w, rng, -noise_smooth_amp, noise_smooth_amp);
+    for (std::size_t y = 0; y < h; ++y) {
+      // Shifted sampling with border clamp (translation jitter).
+      const std::size_t sy = static_cast<std::size_t>(std::clamp<int>(
+          static_cast<int>(y) + dy, 0, static_cast<int>(h) - 1));
+      for (std::size_t x = 0; x < w; ++x) {
+        const std::size_t sx = static_cast<std::size_t>(std::clamp<int>(
+            static_cast<int>(x) + dx, 0, static_cast<int>(w) - 1));
+        float v = field[sy * w + sx] * gain + bias + noise[y * w + x] +
+                  static_cast<float>(rng.normal(0.0, noise_pixel_amp));
+        v = std::clamp(v, 0.0f, 255.0f);
+        pixels[ch * h * w + y * w + x] = static_cast<std::uint8_t>(v);
+      }
+    }
+  }
+}
+
+Dataset make_split(const SyntheticSpec& spec, const Archetypes& arch,
+                   std::size_t count, Rng& rng) {
+  Dataset ds(spec.channels, spec.height, spec.width, spec.classes);
+  std::vector<std::uint8_t> pixels(spec.channels * spec.height * spec.width);
+  // Balanced classes, shuffled order.
+  std::vector<std::uint16_t> labels(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    labels[i] = static_cast<std::uint16_t>(i % spec.classes);
+  }
+  rng.shuffle(labels.begin(), labels.end());
+  for (std::size_t i = 0; i < count; ++i) {
+    sample_image(spec, arch, labels[i], rng, pixels);
+    ds.add(pixels, labels[i]);
+  }
+  return ds;
+}
+
+}  // namespace
+
+SyntheticData make_synthetic_cifar(const SyntheticSpec& spec) {
+  VCDL_CHECK(spec.classes >= 2, "make_synthetic_cifar: need >= 2 classes");
+  VCDL_CHECK(spec.height >= kCoarse && spec.width >= kCoarse,
+             "make_synthetic_cifar: image smaller than coarse field");
+  VCDL_CHECK(spec.difficulty >= 0.0 && spec.difficulty <= 1.5,
+             "make_synthetic_cifar: difficulty out of range");
+  Rng master(spec.seed);
+  Rng arch_rng = master.fork(1);
+  Rng train_rng = master.fork(2);
+  Rng val_rng = master.fork(3);
+  Rng test_rng = master.fork(4);
+
+  const Archetypes arch = make_archetypes(spec, arch_rng);
+  SyntheticData out;
+  out.train = make_split(spec, arch, spec.train, train_rng);
+  out.validation = make_split(spec, arch, spec.validation, val_rng);
+  out.test = make_split(spec, arch, spec.test, test_rng);
+  return out;
+}
+
+}  // namespace vcdl

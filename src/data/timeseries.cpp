@@ -1,0 +1,111 @@
+#include "data/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.hpp"
+
+namespace vcdl {
+namespace {
+
+struct Regime {
+  double a1, a2;        // AR(2) coefficients (stable)
+  double season_freq;   // cycles per window
+  double season_amp;
+  double drift;
+};
+
+std::vector<Regime> make_regimes(std::size_t count, Rng& rng) {
+  std::vector<Regime> out;
+  out.reserve(count);
+  for (std::size_t r = 0; r < count; ++r) {
+    Regime reg;
+    // Stable AR(2): keep the characteristic roots inside the unit circle by
+    // sampling a1 in (-1.2, 1.2) and a2 so that |a2| < 1 − |a1| · 0.7.
+    reg.a1 = rng.uniform(-1.1, 1.1);
+    const double a2_bound = std::max(0.05, 0.9 - 0.7 * std::abs(reg.a1));
+    reg.a2 = rng.uniform(-a2_bound, a2_bound);
+    reg.season_freq = rng.uniform(0.5, 4.0);
+    reg.season_amp = rng.uniform(0.0, 1.5);
+    reg.drift = rng.uniform(-0.02, 0.02);
+    out.push_back(reg);
+  }
+  return out;
+}
+
+// Simulates one window after a burn-in, returns raw doubles.
+std::vector<double> simulate_window(const Regime& reg, std::size_t window,
+                                    double noise, Rng& rng) {
+  constexpr std::size_t kBurnIn = 64;
+  const std::size_t total = kBurnIn + window;
+  std::vector<double> x(total, 0.0);
+  x[0] = rng.normal();
+  x[1] = rng.normal();
+  for (std::size_t t = 2; t < total; ++t) {
+    x[t] = reg.a1 * x[t - 1] + reg.a2 * x[t - 2] + rng.normal(0.0, 1.0) +
+           reg.drift * static_cast<double>(t);
+  }
+  std::vector<double> out(window);
+  const double phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  for (std::size_t i = 0; i < window; ++i) {
+    const double season =
+        reg.season_amp *
+        std::sin(2.0 * std::numbers::pi * reg.season_freq *
+                     static_cast<double>(i) / static_cast<double>(window) +
+                 phase);
+    out[i] = x[kBurnIn + i] + season + rng.normal(0.0, noise);
+  }
+  return out;
+}
+
+void quantize_window(const std::vector<double>& w, std::vector<std::uint8_t>& out) {
+  // Per-window min-max normalization to uint8 (shape, not scale, identifies
+  // the regime — mirrors standard per-window normalization in forecasting).
+  const auto [lo_it, hi_it] = std::minmax_element(w.begin(), w.end());
+  const double lo = *lo_it, hi = *hi_it;
+  const double span = hi - lo > 1e-9 ? hi - lo : 1.0;
+  out.resize(w.size());
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    out[i] = static_cast<std::uint8_t>(
+        std::clamp((w[i] - lo) / span * 255.0, 0.0, 255.0));
+  }
+}
+
+Dataset make_split(const TimeseriesSpec& spec, const std::vector<Regime>& regimes,
+                   std::size_t count, Rng& rng) {
+  Dataset ds(1, 1, spec.window, spec.regimes);
+  std::vector<std::uint8_t> pixels;
+  std::vector<std::uint16_t> labels(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    labels[i] = static_cast<std::uint16_t>(i % spec.regimes);
+  }
+  rng.shuffle(labels.begin(), labels.end());
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto window = simulate_window(regimes[labels[i]], spec.window,
+                                        spec.noise, rng);
+    quantize_window(window, pixels);
+    ds.add(pixels, labels[i]);
+  }
+  return ds;
+}
+
+}  // namespace
+
+SyntheticData make_regime_timeseries(const TimeseriesSpec& spec) {
+  VCDL_CHECK(spec.regimes >= 2, "make_regime_timeseries: need >= 2 regimes");
+  VCDL_CHECK(spec.window >= 8, "make_regime_timeseries: window too small");
+  Rng master(spec.seed);
+  Rng regime_rng = master.fork(11);
+  Rng train_rng = master.fork(12);
+  Rng val_rng = master.fork(13);
+  Rng test_rng = master.fork(14);
+  const auto regimes = make_regimes(spec.regimes, regime_rng);
+  SyntheticData out;
+  out.train = make_split(spec, regimes, spec.train, train_rng);
+  out.validation = make_split(spec, regimes, spec.validation, val_rng);
+  out.test = make_split(spec, regimes, spec.test, test_rng);
+  return out;
+}
+
+}  // namespace vcdl

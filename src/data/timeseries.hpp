@@ -1,0 +1,36 @@
+// Synthetic time-series workload (the paper's §V future-work item).
+//
+// The paper plans experiments on time-series forecasting because it stresses
+// the system differently from image classification: training data is small
+// (no compression/caching pressure) and the problem is "less amenable to
+// data parallel training ... hence requires more vertical scaling". VCDL
+// ships a regime-classification task: windows are drawn from C distinct
+// generating processes (stable AR(2) dynamics + regime-specific seasonality)
+// and the model must identify the regime — a classification problem that
+// reuses the whole Dataset/shard/trainer pipeline with 1-D inputs.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.hpp"
+#include "data/synthetic.hpp"
+
+namespace vcdl {
+
+struct TimeseriesSpec {
+  std::size_t regimes = 6;      // number of classes
+  std::size_t window = 32;      // samples per input window
+  std::size_t train = 1500;
+  std::size_t validation = 300;
+  std::size_t test = 300;
+  /// Observation-noise scale relative to the signal amplitude.
+  double noise = 0.35;
+  std::uint64_t seed = 42;
+};
+
+/// Generates the three splits. Windows are quantized to uint8 and stored as
+/// [1, 1, window] images so every downstream component (shards, codecs,
+/// models taking flattened input) works unchanged.
+SyntheticData make_regime_timeseries(const TimeseriesSpec& spec);
+
+}  // namespace vcdl

@@ -1,0 +1,212 @@
+#include "grid/client.hpp"
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace vcdl {
+
+SimClient::SimClient(ClientId id, InstanceType instance, ClientConfig config,
+                     SimEngine& engine, const NetworkModel& network,
+                     InstanceType server_instance, FileServer& files,
+                     Scheduler& scheduler, GridServer& server, TraceLog& trace,
+                     Rng rng, ExecuteFn execute)
+    : id_(id), instance_(std::move(instance)), config_(std::move(config)),
+      engine_(engine), network_(network),
+      server_instance_(std::move(server_instance)), files_(files),
+      scheduler_(scheduler), server_(server), trace_(trace), rng_(rng),
+      execute_(std::move(execute)) {
+  VCDL_CHECK(config_.max_concurrent >= 1, "SimClient: Tn must be >= 1");
+  VCDL_CHECK(execute_ != nullptr, "SimClient: null execute callback");
+}
+
+void SimClient::start() {
+  scheduler_.register_client(id_);
+  up_ = true;
+  trace_.record(engine_.now(), TraceKind::instance_up, name());
+  schedule_poll(0.0);
+  arm_preemption();
+  arm_availability();
+}
+
+void SimClient::stop() {
+  stopped_ = true;
+  cancel_pending();
+}
+
+void SimClient::schedule_poll(SimTime delay) {
+  if (stopped_ || !up_ || poll_scheduled_) return;
+  poll_scheduled_ = true;
+  const EventId id = engine_.schedule(delay, [this] {
+    poll_scheduled_ = false;
+    poll();
+  });
+  track(id);
+}
+
+void SimClient::poll() {
+  if (stopped_ || !up_) return;
+  if (active_ < config_.max_concurrent) {
+    const auto units = scheduler_.request_work(
+        id_, config_.max_concurrent - active_, engine_.now());
+    for (const auto& unit : units) begin_unit(unit);
+    if (units.empty()) {
+      schedule_poll(config_.poll_interval_s);
+      return;
+    }
+  }
+  // Slots full (or just filled): poll again when something completes, or on
+  // the regular interval as a safety net.
+  schedule_poll(config_.poll_interval_s);
+}
+
+SimTime SimClient::download_time(const Workunit& unit) {
+  SimTime total = 0.0;
+  for (const auto& ref : unit.inputs) {
+    const std::uint64_t current = files_.version(ref.name);
+    if (ref.sticky) {
+      const auto it = cache_.find(ref.name);
+      if (it != cache_.end() && it->second == current) {
+        ++stats_.cache_hits;
+        files_.record_cache_hit();
+        continue;
+      }
+    }
+    const std::size_t bytes = files_.wire_size(ref.name);
+    files_.fetch(ref.name);  // server-side accounting
+    total += network_.transfer_time(bytes, instance_, server_instance_, rng_);
+    ++stats_.downloads;
+    stats_.bytes_downloaded += bytes;
+    if (ref.sticky) {
+      cache_[ref.name] = current;
+      scheduler_.note_cached(id_, ref.name);
+    }
+  }
+  return total;
+}
+
+void SimClient::begin_unit(const Workunit& unit) {
+  ++active_;
+  trace_.record(engine_.now(), TraceKind::assigned, name(), unit.label());
+  const SimTime dl = download_time(unit);
+  trace_.record(engine_.now(), TraceKind::download, name(), unit.label());
+  const EventId id = engine_.schedule(dl, [this, unit] { exec_unit(unit); });
+  track(id);
+}
+
+void SimClient::exec_unit(const Workunit& unit) {
+  trace_.record(engine_.now(), TraceKind::exec_start, name(), unit.label());
+  // Real training happens here; virtual duration comes from the instance
+  // model at the *current* concurrency level (processor-sharing
+  // approximation — see DESIGN.md §4).
+  ExecOutcome outcome = execute_(unit, id_);
+  SimTime exec_s = subtask_exec_time(instance_, outcome.work_units, active_,
+                                     config_.compute);
+  if (config_.compute.exec_jitter_sigma > 0.0) {
+    exec_s *= rng_.lognormal(0.0, config_.compute.exec_jitter_sigma);
+  }
+  stats_.busy_s += exec_s;
+  auto payload = std::make_shared<Blob>(std::move(outcome.payload));
+  const EventId id = engine_.schedule(exec_s, [this, unit, payload] {
+    finish_unit(unit, std::move(*payload));
+  });
+  track(id);
+}
+
+void SimClient::finish_unit(const Workunit& unit, Blob payload) {
+  trace_.record(engine_.now(), TraceKind::exec_done, name(), unit.label());
+  const std::size_t bytes = payload.size();
+  const SimTime up =
+      network_.transfer_time(bytes, instance_, server_instance_, rng_);
+  stats_.bytes_uploaded += bytes;
+  auto shared = std::make_shared<Blob>(std::move(payload));
+  const EventId id = engine_.schedule(up, [this, unit, shared] {
+    trace_.record(engine_.now(), TraceKind::upload, name(), unit.label());
+    VCDL_CHECK(active_ > 0, "SimClient: completion without active subtask");
+    --active_;
+    ++stats_.completed;
+    server_.submit_result(id_, unit, std::move(*shared));
+    schedule_poll(0.0);  // a slot just freed up
+  });
+  track(id);
+}
+
+void SimClient::arm_preemption() {
+  const SimTime next = config_.preemption.sample_next(rng_);
+  if (!std::isfinite(next)) return;
+  const EventId id = engine_.schedule(next, [this] { preempt(); });
+  track(id);
+}
+
+void SimClient::preempt() {
+  if (stopped_ || !up_) return;
+  up_ = false;
+  ++stats_.preemptions;
+  stats_.lost_inflight += active_;
+  trace_.record(engine_.now(), TraceKind::preempted, name(),
+                std::to_string(active_) + " subtasks lost");
+  cancel_pending();
+  active_ = 0;
+  poll_scheduled_ = false;
+  // The replacement instance starts with a cold cache.
+  cache_.clear();
+  scheduler_.clear_cache(id_);
+  const EventId id =
+      engine_.schedule(config_.preemption.downtime_s, [this] { restore(); });
+  track(id);
+}
+
+void SimClient::restore() {
+  if (stopped_) return;
+  up_ = true;
+  trace_.record(engine_.now(), TraceKind::instance_up, name(), "replacement");
+  schedule_poll(0.0);
+  arm_preemption();
+  arm_availability();
+}
+
+void SimClient::arm_availability() {
+  if (!config_.availability.enabled()) return;
+  const SimTime next = config_.availability.sample_up(rng_);
+  const EventId id = engine_.schedule(next, [this] { go_offline(); });
+  track(id);
+}
+
+void SimClient::go_offline() {
+  if (stopped_ || !up_) return;
+  up_ = false;
+  ++stats_.offline_events;
+  stats_.lost_inflight += active_;
+  trace_.record(engine_.now(), TraceKind::preempted, name(),
+                "volunteer offline, " + std::to_string(active_) +
+                    " subtasks lost");
+  cancel_pending();
+  active_ = 0;
+  poll_scheduled_ = false;
+  // The volunteer's disk survives: sticky cache intact (unlike a preemption).
+  const SimTime down = config_.availability.sample_down(rng_);
+  const EventId id = engine_.schedule(down, [this] { come_online(); });
+  track(id);
+}
+
+void SimClient::come_online() {
+  if (stopped_) return;
+  up_ = true;
+  trace_.record(engine_.now(), TraceKind::instance_up, name(),
+                "volunteer online");
+  schedule_poll(0.0);
+  arm_preemption();
+  arm_availability();
+}
+
+void SimClient::cancel_pending() {
+  // Copy: cancel() mutates nothing here, but keep iteration safe anyway.
+  const std::vector<std::uint64_t> seqs(pending_events_.begin(),
+                                        pending_events_.end());
+  for (const auto seq : seqs) engine_.cancel(EventId{seq});
+  pending_events_.clear();
+}
+
+}  // namespace vcdl

@@ -1,0 +1,123 @@
+// Simulated grid client daemon — the BOINC client role (§II-C, §III-A).
+//
+// A SimClient runs on one (possibly preemptible) cloud instance. Its loop:
+// poll the scheduler for up to Tn concurrent subtasks; for each subtask,
+// download its input files (respecting the sticky-file cache and on-the-wire
+// compression), execute the training callback, upload the parameter result,
+// repeat. A preemption kills every in-flight subtask and wipes the local
+// cache; the instance comes back after a replacement delay and resumes
+// polling. Lost subtasks are recovered by scheduler deadlines, never by the
+// client.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+
+#include "grid/file_server.hpp"
+#include "grid/scheduler.hpp"
+#include "grid/server.hpp"
+#include "sim/availability.hpp"
+#include "sim/instance.hpp"
+#include "sim/network.hpp"
+#include "sim/preemption.hpp"
+#include "sim/trace.hpp"
+
+namespace vcdl {
+
+/// Output of the real training callback.
+struct ExecOutcome {
+  Blob payload;        // parameter copy to upload
+  double work_units;   // abstract compute cost (drives virtual exec time)
+};
+
+/// Executes a subtask *for real* (trains the model on the shard). Called at
+/// the virtual exec-start instant.
+using ExecuteFn = std::function<ExecOutcome(const Workunit&, ClientId)>;
+
+struct ClientConfig {
+  std::size_t max_concurrent = 2;  // the paper's Tn
+  SimTime poll_interval_s = 10.0;  // idle re-poll period
+  PreemptionProcess preemption;    // rate 0 ⇒ a standard (reliable) instance
+  /// Volunteer duty cycle (§II-C "users may start or shutdown their devices
+  /// any time"). Disabled by default — cloud instances are always on. Unlike
+  /// a preemption, going offline keeps the sticky-file cache (the volunteer's
+  /// disk survives).
+  AvailabilityModel availability;
+  ComputeModel compute;            // RAM/threads execution model
+};
+
+class SimClient {
+ public:
+  struct Stats {
+    std::uint64_t completed = 0;
+    std::uint64_t preemptions = 0;
+    std::uint64_t offline_events = 0;  // volunteer availability churn
+    std::uint64_t lost_inflight = 0;  // subtasks killed by preemption
+    std::uint64_t cache_hits = 0;
+    SimTime busy_s = 0.0;             // summed virtual execution time
+    std::uint64_t downloads = 0;
+    std::uint64_t bytes_downloaded = 0;
+    std::uint64_t bytes_uploaded = 0;
+  };
+
+  SimClient(ClientId id, InstanceType instance, ClientConfig config,
+            SimEngine& engine, const NetworkModel& network,
+            InstanceType server_instance, FileServer& files,
+            Scheduler& scheduler, GridServer& server, TraceLog& trace,
+            Rng rng, ExecuteFn execute);
+
+  /// Registers with the scheduler and schedules the first poll (and the
+  /// first preemption, when the instance is preemptible).
+  void start();
+  /// Stops polling and cancels everything pending (job finished).
+  void stop();
+
+  ClientId id() const { return id_; }
+  bool is_up() const { return up_; }
+  const InstanceType& instance() const { return instance_; }
+  std::size_t active_subtasks() const { return active_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void poll();
+  void schedule_poll(SimTime delay);
+  void begin_unit(const Workunit& unit);
+  void exec_unit(const Workunit& unit);
+  void finish_unit(const Workunit& unit, Blob payload);
+  void preempt();
+  void restore();
+  void arm_preemption();
+  void go_offline();
+  void come_online();
+  void arm_availability();
+  /// Simulated download time for the unit's inputs; updates caches.
+  SimTime download_time(const Workunit& unit);
+  void track(EventId id) { pending_events_.insert(id.seq); }
+  void untrack(std::uint64_t seq) { pending_events_.erase(seq); }
+  void cancel_pending();
+  std::string name() const { return "client-" + std::to_string(id_); }
+
+  ClientId id_;
+  InstanceType instance_;
+  ClientConfig config_;
+  SimEngine& engine_;
+  const NetworkModel& network_;
+  InstanceType server_instance_;
+  FileServer& files_;
+  Scheduler& scheduler_;
+  GridServer& server_;
+  TraceLog& trace_;
+  Rng rng_;
+  ExecuteFn execute_;
+
+  bool up_ = false;
+  bool stopped_ = false;
+  bool poll_scheduled_ = false;
+  std::size_t active_ = 0;  // subtasks between download-start and upload-end
+  std::map<std::string, std::uint64_t> cache_;  // sticky file → version
+  std::set<std::uint64_t> pending_events_;      // cancellable on preemption
+  Stats stats_;
+};
+
+}  // namespace vcdl

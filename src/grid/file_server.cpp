@@ -1,0 +1,50 @@
+#include "grid/file_server.hpp"
+
+#include "common/compress.hpp"
+#include "common/error.hpp"
+
+namespace vcdl {
+
+void FileServer::publish(const std::string& name, Blob payload,
+                         bool compress_on_wire) {
+  auto& e = files_[name];
+  e.wire_size = compress_on_wire ? compressed_size(payload.view()) : payload.size();
+  e.compressed = compress_on_wire;
+  e.payload = std::move(payload);
+  ++e.version;
+  ++stats_.publishes;
+}
+
+bool FileServer::has(const std::string& name) const {
+  return files_.count(name) > 0;
+}
+
+const FileServer::Entry& FileServer::entry(const std::string& name) const {
+  const auto it = files_.find(name);
+  if (it == files_.end()) {
+    throw NotFound("FileServer: no file named '" + name + "'");
+  }
+  return it->second;
+}
+
+std::uint64_t FileServer::version(const std::string& name) const {
+  return entry(name).version;
+}
+
+std::size_t FileServer::raw_size(const std::string& name) const {
+  return entry(name).payload.size();
+}
+
+std::size_t FileServer::wire_size(const std::string& name) const {
+  return entry(name).wire_size;
+}
+
+const Blob& FileServer::fetch(const std::string& name) {
+  const Entry& e = entry(name);
+  ++stats_.fetches;
+  stats_.bytes_raw += e.payload.size();
+  stats_.bytes_wire += e.wire_size;
+  return e.payload;
+}
+
+}  // namespace vcdl

@@ -1,0 +1,60 @@
+// File server — the BOINC web-server role (§II-C).
+//
+// Holds named, versioned blobs (architecture file, parameter copies, data
+// shards). Payloads can be marked for on-the-wire compression: the wire size
+// (what a transfer is billed for) is then the compressed size, computed once
+// per version. Client-side caching of sticky files is handled by SimClient;
+// the server just exposes versions so caches can be validated.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/blob.hpp"
+
+namespace vcdl {
+
+class FileServer {
+ public:
+  struct Stats {
+    std::uint64_t publishes = 0;
+    std::uint64_t fetches = 0;
+    std::uint64_t bytes_raw = 0;    // payload bytes served (uncompressed)
+    std::uint64_t bytes_wire = 0;   // bytes actually transferred
+    std::uint64_t cache_hits = 0;   // downloads avoided by client caches
+  };
+
+  /// Publishes (or replaces) a file; bumps its version.
+  void publish(const std::string& name, Blob payload, bool compress_on_wire);
+
+  bool has(const std::string& name) const;
+  std::uint64_t version(const std::string& name) const;
+  /// Payload size before wire compression.
+  std::size_t raw_size(const std::string& name) const;
+  /// Bytes a client transfer is charged for.
+  std::size_t wire_size(const std::string& name) const;
+
+  /// Fetches the payload (decompressed view); records serving stats.
+  const Blob& fetch(const std::string& name);
+
+  /// Called by clients when a sticky-file cache hit avoids a transfer.
+  void record_cache_hit() { ++stats_.cache_hits; }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    Blob payload;
+    std::uint64_t version = 0;
+    std::size_t wire_size = 0;
+    bool compressed = false;
+  };
+
+  const Entry& entry(const std::string& name) const;
+
+  std::map<std::string, Entry> files_;
+  Stats stats_;
+};
+
+}  // namespace vcdl

@@ -1,0 +1,162 @@
+#include "grid/scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace vcdl {
+namespace {
+constexpr double kReliabilityEma = 0.2;  // weight of the newest outcome
+}
+
+void Scheduler::register_client(ClientId id) { clients_[id]; }
+
+void Scheduler::note_cached(ClientId id, const std::string& file) {
+  const auto it = clients_.find(id);
+  VCDL_CHECK(it != clients_.end(), "Scheduler: unknown client");
+  it->second.cached.insert(file);
+}
+
+void Scheduler::clear_cache(ClientId id) {
+  const auto it = clients_.find(id);
+  if (it != clients_.end()) it->second.cached.clear();
+}
+
+void Scheduler::add_unit(const Workunit& unit) {
+  VCDL_CHECK(unit.replication >= 1, "Scheduler: replication must be >= 1");
+  VCDL_CHECK(units_.count(unit.id) == 0, "Scheduler: duplicate workunit id");
+  PendingUnit p;
+  p.unit = unit;
+  p.replicas_left = unit.replication;
+  units_.emplace(unit.id, std::move(p));
+  ready_.push_back(unit.id);
+  ++outstanding_;
+  ++stats_.generated;
+}
+
+std::vector<Workunit> Scheduler::request_work(ClientId client,
+                                              std::size_t max_units,
+                                              SimTime now) {
+  const auto cit = clients_.find(client);
+  VCDL_CHECK(cit != clients_.end(), "Scheduler: unregistered client");
+  const auto& cached = cit->second.cached;
+  if (reliability_gate_ > 0.0 &&
+      cit->second.reliability < reliability_gate_) {
+    max_units = std::min<std::size_t>(max_units, 1);
+  }
+
+  std::vector<Workunit> out;
+  // Two passes over the ready queue: affinity matches first, then anything.
+  for (const bool affinity_pass : {true, false}) {
+    if (out.size() >= max_units) break;
+    for (auto it = ready_.begin(); it != ready_.end() && out.size() < max_units;) {
+      auto& p = units_.at(*it);
+      if (p.done || p.replicas_left == 0 || p.issued_to.count(client) > 0) {
+        ++it;
+        continue;
+      }
+      if (affinity_pass) {
+        const bool match = std::any_of(
+            p.unit.inputs.begin(), p.unit.inputs.end(), [&](const FileRef& f) {
+              return f.sticky && cached.count(f.name) > 0;
+            });
+        if (!match) {
+          ++it;
+          continue;
+        }
+        ++stats_.affinity_hits;
+      }
+      // Issue one replica to this client.
+      --p.replicas_left;
+      p.issued_to.insert(client);
+      inflight_.push_back(Assignment{p.unit.id, client, now + p.unit.deadline_s});
+      ++stats_.assignments;
+      out.push_back(p.unit);
+      if (p.replicas_left == 0) {
+        it = ready_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return out;
+}
+
+bool Scheduler::report_result(ClientId client, WorkunitId unit, SimTime now) {
+  (void)now;
+  // Drop the matching in-flight assignment (if its deadline already expired
+  // the entry is gone — the result is late but may still be the first).
+  const auto it = std::find_if(inflight_.begin(), inflight_.end(),
+                               [&](const Assignment& a) {
+                                 return a.unit == unit && a.client == client;
+                               });
+  if (it != inflight_.end()) inflight_.erase(it);
+
+  const auto uit = units_.find(unit);
+  VCDL_CHECK(uit != units_.end(), "Scheduler: result for unknown unit");
+  bump_reliability(client, true);
+  if (uit->second.done) {
+    ++stats_.duplicate_results;
+    return false;
+  }
+  uit->second.done = true;
+  --outstanding_;
+  ++stats_.results;
+  // Any queued replicas are no longer needed.
+  uit->second.replicas_left = 0;
+  return true;
+}
+
+std::vector<WorkunitId> Scheduler::expire_deadlines(SimTime now) {
+  std::vector<WorkunitId> expired;
+  for (auto it = inflight_.begin(); it != inflight_.end();) {
+    if (it->deadline > now) {
+      ++it;
+      continue;
+    }
+    auto& p = units_.at(it->unit);
+    bump_reliability(it->client, false);
+    ++stats_.timeouts;
+    if (!p.done) {
+      // Reissue. The missed client becomes eligible again too — after a
+      // preemption it may be the only machine left.
+      p.issued_to.erase(it->client);
+      ++p.replicas_left;
+      if (p.replicas_left == 1) ready_.push_back(p.unit.id);
+      expired.push_back(it->unit);
+    }
+    it = inflight_.erase(it);
+  }
+  return expired;
+}
+
+std::optional<SimTime> Scheduler::next_deadline() const {
+  std::optional<SimTime> best;
+  for (const auto& a : inflight_) {
+    if (!best || a.deadline < *best) best = a.deadline;
+  }
+  return best;
+}
+
+std::size_t Scheduler::ready_count() const {
+  std::size_t n = 0;
+  for (const auto id : ready_) {
+    const auto& p = units_.at(id);
+    if (!p.done && p.replicas_left > 0) ++n;
+  }
+  return n;
+}
+
+double Scheduler::reliability(ClientId id) const {
+  const auto it = clients_.find(id);
+  VCDL_CHECK(it != clients_.end(), "Scheduler: unknown client");
+  return it->second.reliability;
+}
+
+void Scheduler::bump_reliability(ClientId id, bool success) {
+  auto& c = clients_.at(id);
+  c.reliability = (1.0 - kReliabilityEma) * c.reliability +
+                  kReliabilityEma * (success ? 1.0 : 0.0);
+}
+
+}  // namespace vcdl

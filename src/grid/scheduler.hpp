@@ -1,0 +1,106 @@
+// Workunit scheduler — the BOINC scheduler role (§II-C, §III-B).
+//
+// Pull model: clients request work, the scheduler hands out ready units.
+// Fault tolerance comes from deadlines — an assignment whose result has not
+// arrived within the unit's timeout is requeued for another client. The
+// scheduler also tracks a per-client reliability score (exponential moving
+// average of assignment outcomes) and implements two BOINC policies:
+//   * sticky-file affinity: prefer giving a unit to a client that already
+//     caches its sticky inputs (avoids repeated shard downloads);
+//   * replication: a unit may be issued to k distinct clients for
+//     computational redundancy; the first result retires it.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "grid/workunit.hpp"
+
+namespace vcdl {
+
+class Scheduler {
+ public:
+  struct Stats {
+    std::uint64_t generated = 0;
+    std::uint64_t assignments = 0;
+    std::uint64_t results = 0;
+    std::uint64_t duplicate_results = 0;  // replication extras / late arrivals
+    std::uint64_t timeouts = 0;
+    std::uint64_t affinity_hits = 0;  // assignment matched a cached sticky file
+  };
+
+  /// Registers a client; must be called before it requests work.
+  void register_client(ClientId id);
+
+  /// Enables reliability-gated assignment (§III-B: "assign subtasks to more
+  /// reliable clients"): a client whose reliability score is below the
+  /// threshold is granted at most one unit per request, limiting the blast
+  /// radius of flaky machines while still letting them earn trust back.
+  void set_reliability_gate(double threshold) { reliability_gate_ = threshold; }
+
+  /// Marks a sticky file as cached (or evicted) on a client, for affinity.
+  void note_cached(ClientId id, const std::string& file);
+  void clear_cache(ClientId id);
+
+  /// Adds a unit to the ready pool (issued `replication` times).
+  void add_unit(const Workunit& unit);
+
+  /// Hands out up to `max_units` units to `client` at time `now`.
+  /// A client never receives two replicas of the same unit.
+  std::vector<Workunit> request_work(ClientId client, std::size_t max_units,
+                                     SimTime now);
+
+  /// Records a successful result upload. Returns true if this is the first
+  /// result for the unit (it should be assimilated), false for duplicates.
+  bool report_result(ClientId client, WorkunitId unit, SimTime now);
+
+  /// Requeues assignments whose deadline has passed; returns the affected
+  /// unit ids. Reduces the reliability of the clients that missed.
+  std::vector<WorkunitId> expire_deadlines(SimTime now);
+
+  /// Earliest pending deadline, if any (lets the driver schedule the next
+  /// timeout check exactly).
+  std::optional<SimTime> next_deadline() const;
+
+  /// All units retired (first result received).
+  bool all_done() const { return outstanding_ == 0; }
+  std::size_t ready_count() const;
+  std::size_t inflight_count() const { return inflight_.size(); }
+
+  double reliability(ClientId id) const;
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct PendingUnit {
+    Workunit unit;
+    std::size_t replicas_left = 1;      // issues remaining
+    std::set<ClientId> issued_to;       // clients holding a replica
+    bool done = false;                  // first result arrived
+  };
+
+  struct Assignment {
+    WorkunitId unit = 0;
+    ClientId client = 0;
+    SimTime deadline = 0;
+  };
+
+  struct ClientState {
+    double reliability = 0.5;
+    std::set<std::string> cached;
+  };
+
+  void bump_reliability(ClientId id, bool success);
+
+  std::map<WorkunitId, PendingUnit> units_;
+  std::deque<WorkunitId> ready_;        // units with replicas_left > 0
+  std::vector<Assignment> inflight_;
+  std::map<ClientId, ClientState> clients_;
+  std::size_t outstanding_ = 0;         // units not yet done
+  double reliability_gate_ = 0.0;       // 0 = disabled
+  Stats stats_;
+};
+
+}  // namespace vcdl

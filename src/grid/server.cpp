@@ -1,0 +1,68 @@
+#include "grid/server.hpp"
+
+#include "sim/engine.hpp"
+
+namespace vcdl {
+
+GridServer::GridServer(SimEngine& engine, Scheduler& scheduler, TraceLog& trace,
+                       std::size_t num_parameter_servers,
+                       ResultValidator validator)
+    : engine_(engine), scheduler_(scheduler), trace_(trace),
+      validator_(std::move(validator)), ps_(num_parameter_servers) {
+  VCDL_CHECK(num_parameter_servers >= 1, "GridServer: need at least one PS");
+  VCDL_CHECK(validator_ != nullptr, "GridServer: null validator");
+}
+
+void GridServer::submit_result(ClientId client, const Workunit& unit,
+                               Blob payload) {
+  ++stats_.received;
+  trace_.record(engine_.now(), TraceKind::result_received,
+                "client-" + std::to_string(client), unit.label());
+  if (!validator_(payload)) {
+    ++stats_.invalid;
+    return;  // invalid result: the deadline will eventually requeue the unit
+  }
+  trace_.record(engine_.now(), TraceKind::validated,
+                "client-" + std::to_string(client), unit.label());
+  const bool first = scheduler_.report_result(client, unit.id, engine_.now());
+  if (!first) {
+    ++stats_.duplicates;
+    return;  // replication extra or post-timeout duplicate
+  }
+  ResultEnvelope env;
+  env.unit = unit;
+  env.client = client;
+  env.payload = std::move(payload);
+  env.received_at = engine_.now();
+  const std::size_t ps_index = rr_++ % ps_.size();
+  ps_[ps_index].queue.push_back(std::move(env));
+  maybe_start(ps_index);
+}
+
+std::size_t GridServer::queued_results() const {
+  std::size_t n = 0;
+  for (const auto& w : ps_) n += w.queue.size();
+  return n;
+}
+
+void GridServer::maybe_start(std::size_t ps_index) {
+  auto& worker = ps_[ps_index];
+  if (worker.busy || worker.queue.empty()) return;
+  VCDL_CHECK(backend_ != nullptr, "GridServer: no assimilator backend set");
+  worker.busy = true;
+  ++active_;
+  ResultEnvelope env = std::move(worker.queue.front());
+  worker.queue.pop_front();
+  const std::string label = env.unit.label();
+  backend_->assimilate(std::move(env), ps_index, [this, ps_index, label] {
+    auto& w = ps_[ps_index];
+    w.busy = false;
+    --active_;
+    ++stats_.assimilated;
+    trace_.record(engine_.now(), TraceKind::assimilated,
+                  "ps-" + std::to_string(ps_index), label);
+    maybe_start(ps_index);
+  });
+}
+
+}  // namespace vcdl

@@ -1,0 +1,84 @@
+// Grid server: result intake, validation, and parameter-server dispatch.
+//
+// Mirrors the paper's server stack (§III-A): clients upload results to the
+// web server; BOINC validates them and invokes the assimilator — here, one of
+// Pn parameter-server workers, chosen round-robin ("BOINC evenly distributes
+// the load to multiple parameter servers", §III-D). Each worker processes one
+// result at a time; its service logic lives in an AssimilatorBackend (the
+// core library's VC-ASGD parameter server) which schedules its own store
+// reads/writes in virtual time and signals completion.
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "grid/scheduler.hpp"
+#include "grid/workunit.hpp"
+#include "sim/trace.hpp"
+
+namespace vcdl {
+
+class SimEngine;
+
+/// Integrity check applied before assimilation (the BOINC validator role).
+using ResultValidator = std::function<bool(const Blob&)>;
+
+class AssimilatorBackend {
+ public:
+  virtual ~AssimilatorBackend() = default;
+
+  /// Processes one validated result on parameter server `ps_index`. The
+  /// backend schedules whatever virtual-time events it needs (store read,
+  /// blend, validation, store write) and must invoke `on_done` exactly once
+  /// when the parameter server is free again.
+  virtual void assimilate(ResultEnvelope env, std::size_t ps_index,
+                          std::function<void()> on_done) = 0;
+};
+
+class GridServer {
+ public:
+  struct Stats {
+    std::uint64_t received = 0;
+    std::uint64_t invalid = 0;
+    std::uint64_t duplicates = 0;
+    std::uint64_t assimilated = 0;
+  };
+
+  GridServer(SimEngine& engine, Scheduler& scheduler, TraceLog& trace,
+             std::size_t num_parameter_servers, ResultValidator validator);
+
+  /// The assimilation logic is provided by the core library after
+  /// construction (it needs a reference to this server for contention info).
+  void set_backend(AssimilatorBackend* backend) { backend_ = backend; }
+
+  /// Client upload entry point (at engine.now()).
+  void submit_result(ClientId client, const Workunit& unit, Blob payload);
+
+  /// Parameter servers currently processing a result — used by backends to
+  /// model CPU contention on the shared server instance.
+  std::size_t active_assimilations() const { return active_; }
+  std::size_t parameter_servers() const { return ps_.size(); }
+  std::size_t queued_results() const;
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct PsWorker {
+    std::deque<ResultEnvelope> queue;
+    bool busy = false;
+  };
+
+  void maybe_start(std::size_t ps_index);
+
+  SimEngine& engine_;
+  Scheduler& scheduler_;
+  TraceLog& trace_;
+  ResultValidator validator_;
+  AssimilatorBackend* backend_ = nullptr;
+  std::vector<PsWorker> ps_;
+  std::size_t rr_ = 0;       // round-robin dispatch cursor
+  std::size_t active_ = 0;
+  Stats stats_;
+};
+
+}  // namespace vcdl

@@ -1,0 +1,76 @@
+#include "nn/activations.hpp"
+
+#include <cmath>
+
+namespace vcdl {
+
+Tensor ReLU::forward(const Tensor& x, bool /*training*/) {
+  Tensor y = x;
+  mask_ = Tensor(x.shape());
+  auto yf = y.flat();
+  auto mf = mask_.flat();
+  for (std::size_t i = 0; i < yf.size(); ++i) {
+    if (yf[i] > 0.0f) {
+      mf[i] = 1.0f;
+    } else {
+      yf[i] = 0.0f;
+      mf[i] = 0.0f;
+    }
+  }
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  VCDL_CHECK(grad_out.shape() == mask_.shape(), "ReLU::backward shape mismatch");
+  Tensor dx = grad_out;
+  auto df = dx.flat();
+  auto mf = mask_.flat();
+  for (std::size_t i = 0; i < df.size(); ++i) df[i] *= mf[i];
+  return dx;
+}
+
+void ReLU::write_spec(BinaryWriter& /*w*/) const {}
+std::unique_ptr<Layer> ReLU::clone() const { return std::make_unique<ReLU>(*this); }
+
+Tensor Tanh::forward(const Tensor& x, bool /*training*/) {
+  Tensor y = x;
+  for (auto& v : y.flat()) v = std::tanh(v);
+  last_y_ = y;
+  return y;
+}
+
+Tensor Tanh::backward(const Tensor& grad_out) {
+  VCDL_CHECK(grad_out.shape() == last_y_.shape(), "Tanh::backward shape mismatch");
+  Tensor dx = grad_out;
+  auto df = dx.flat();
+  auto yf = last_y_.flat();
+  for (std::size_t i = 0; i < df.size(); ++i) df[i] *= 1.0f - yf[i] * yf[i];
+  return dx;
+}
+
+void Tanh::write_spec(BinaryWriter& /*w*/) const {}
+std::unique_ptr<Layer> Tanh::clone() const { return std::make_unique<Tanh>(*this); }
+
+Tensor Sigmoid::forward(const Tensor& x, bool /*training*/) {
+  Tensor y = x;
+  for (auto& v : y.flat()) v = 1.0f / (1.0f + std::exp(-v));
+  last_y_ = y;
+  return y;
+}
+
+Tensor Sigmoid::backward(const Tensor& grad_out) {
+  VCDL_CHECK(grad_out.shape() == last_y_.shape(),
+             "Sigmoid::backward shape mismatch");
+  Tensor dx = grad_out;
+  auto df = dx.flat();
+  auto yf = last_y_.flat();
+  for (std::size_t i = 0; i < df.size(); ++i) df[i] *= yf[i] * (1.0f - yf[i]);
+  return dx;
+}
+
+void Sigmoid::write_spec(BinaryWriter& /*w*/) const {}
+std::unique_ptr<Layer> Sigmoid::clone() const {
+  return std::make_unique<Sigmoid>(*this);
+}
+
+}  // namespace vcdl

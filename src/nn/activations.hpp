@@ -1,0 +1,45 @@
+// Parameter-free activation layers.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace vcdl {
+
+/// max(0, x)
+class ReLU : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string kind() const override { return "relu"; }
+  void write_spec(BinaryWriter& w) const override;
+  std::unique_ptr<Layer> clone() const override;
+
+ private:
+  Tensor mask_;  // 1 where x > 0
+};
+
+class Tanh : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string kind() const override { return "tanh"; }
+  void write_spec(BinaryWriter& w) const override;
+  std::unique_ptr<Layer> clone() const override;
+
+ private:
+  Tensor last_y_;
+};
+
+class Sigmoid : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string kind() const override { return "sigmoid"; }
+  void write_spec(BinaryWriter& w) const override;
+  std::unique_ptr<Layer> clone() const override;
+
+ private:
+  Tensor last_y_;
+};
+
+}  // namespace vcdl

@@ -1,0 +1,174 @@
+#include "nn/conv2d.hpp"
+
+#include <cstring>
+
+#include "common/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace vcdl {
+namespace {
+
+// Expands the padded input patch matrix: col[(c*k*k + ky*k + kx)][oy*OW + ox]
+// = x[c][oy*stride + ky - pad][ox*stride + kx - pad] (0 outside).
+void im2col(const float* x, std::size_t channels, std::size_t h, std::size_t w,
+            std::size_t kernel, std::size_t stride, std::size_t pad,
+            std::size_t oh, std::size_t ow, float* col) {
+  const std::size_t plane = h * w;
+  const std::size_t out_plane = oh * ow;
+  for (std::size_t c = 0; c < channels; ++c) {
+    const float* xc = x + c * plane;
+    for (std::size_t ky = 0; ky < kernel; ++ky) {
+      for (std::size_t kx = 0; kx < kernel; ++kx) {
+        float* row = col + ((c * kernel + ky) * kernel + kx) * out_plane;
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(oy * stride + ky) -
+              static_cast<std::ptrdiff_t>(pad);
+          if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) {
+            std::memset(row + oy * ow, 0, ow * sizeof(float));
+            continue;
+          }
+          const float* x_row = xc + static_cast<std::size_t>(iy) * w;
+          for (std::size_t ox = 0; ox < ow; ++ox) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(ox * stride + kx) -
+                static_cast<std::ptrdiff_t>(pad);
+            row[oy * ow + ox] =
+                (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w))
+                    ? 0.0f
+                    : x_row[static_cast<std::size_t>(ix)];
+          }
+        }
+      }
+    }
+  }
+}
+
+// Scatter-adds the column matrix back into image layout (inverse of im2col
+// with accumulation at overlapping positions).
+void col2im(const float* col, std::size_t channels, std::size_t h, std::size_t w,
+            std::size_t kernel, std::size_t stride, std::size_t pad,
+            std::size_t oh, std::size_t ow, float* x) {
+  const std::size_t plane = h * w;
+  const std::size_t out_plane = oh * ow;
+  for (std::size_t c = 0; c < channels; ++c) {
+    float* xc = x + c * plane;
+    for (std::size_t ky = 0; ky < kernel; ++ky) {
+      for (std::size_t kx = 0; kx < kernel; ++kx) {
+        const float* row = col + ((c * kernel + ky) * kernel + kx) * out_plane;
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(oy * stride + ky) -
+              static_cast<std::ptrdiff_t>(pad);
+          if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+          float* x_row = xc + static_cast<std::size_t>(iy) * w;
+          for (std::size_t ox = 0; ox < ow; ++ox) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(ox * stride + kx) -
+                static_cast<std::ptrdiff_t>(pad);
+            if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
+            x_row[static_cast<std::size_t>(ix)] += row[oy * ow + ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Conv2D::Conv2D(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, std::size_t stride, std::size_t pad,
+               Init scheme, Rng& rng)
+    : in_c_(in_channels), out_c_(out_channels), kernel_(kernel),
+      stride_(stride), pad_(pad), scheme_(scheme),
+      w_(Shape{out_channels, in_channels * kernel * kernel}),
+      b_(Shape{out_channels}),
+      dw_(Shape{out_channels, in_channels * kernel * kernel}),
+      db_(Shape{out_channels}) {
+  VCDL_CHECK(in_channels > 0 && out_channels > 0 && kernel > 0 && stride > 0,
+             "Conv2D: bad hyperparameters");
+  const std::size_t fan_in = in_channels * kernel * kernel;
+  const std::size_t fan_out = out_channels * kernel * kernel;
+  initialize(w_, scheme, fan_in, fan_out, rng);
+}
+
+Tensor Conv2D::forward(const Tensor& x, bool /*training*/) {
+  VCDL_CHECK(x.shape().rank() == 4 && x.shape()[1] == in_c_,
+             "Conv2D::forward: expected [batch, " + std::to_string(in_c_) +
+                 ", H, W], got " + x.shape().to_string());
+  const std::size_t batch = x.shape()[0];
+  const std::size_t h = x.shape()[2], w = x.shape()[3];
+  VCDL_CHECK(h + 2 * pad_ >= kernel_ && w + 2 * pad_ >= kernel_,
+             "Conv2D: kernel larger than padded input");
+  const std::size_t oh = out_height(h), ow = out_width(w);
+  last_h_ = h;
+  last_w_ = w;
+  last_batch_ = batch;
+
+  const std::size_t col_rows = in_c_ * kernel_ * kernel_;
+  const std::size_t out_plane = oh * ow;
+  cols_.assign(batch, Tensor(Shape{col_rows, out_plane}));
+
+  Tensor y(Shape{batch, out_c_, oh, ow});
+  Tensor y_mat;  // reused [out_c, out_plane] view buffer
+  for (std::size_t bi = 0; bi < batch; ++bi) {
+    im2col(x.data() + bi * in_c_ * h * w, in_c_, h, w, kernel_, stride_, pad_,
+           oh, ow, cols_[bi].data());
+    ops::matmul(w_, cols_[bi], y_mat);
+    float* y_b = y.data() + bi * out_c_ * out_plane;
+    const float* ym = y_mat.data();
+    for (std::size_t oc = 0; oc < out_c_; ++oc) {
+      const float bias = b_[oc];
+      for (std::size_t p = 0; p < out_plane; ++p) {
+        y_b[oc * out_plane + p] = ym[oc * out_plane + p] + bias;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Conv2D::backward(const Tensor& grad_out) {
+  VCDL_CHECK(last_batch_ > 0, "Conv2D::backward before forward");
+  const std::size_t oh = out_height(last_h_), ow = out_width(last_w_);
+  VCDL_CHECK((grad_out.shape() == Shape{last_batch_, out_c_, oh, ow}),
+             "Conv2D::backward: gradient shape mismatch");
+  const std::size_t out_plane = oh * ow;
+  const std::size_t col_rows = in_c_ * kernel_ * kernel_;
+
+  Tensor dx(Shape{last_batch_, in_c_, last_h_, last_w_});
+  Tensor dcol(Shape{col_rows, out_plane});
+  for (std::size_t bi = 0; bi < last_batch_; ++bi) {
+    // View this item's output gradient as a [out_c, out_plane] matrix.
+    Tensor dy_mat(Shape{out_c_, out_plane},
+                  std::vector<float>(
+                      grad_out.data() + bi * out_c_ * out_plane,
+                      grad_out.data() + (bi + 1) * out_c_ * out_plane));
+    // dW += dY · col^T
+    ops::matmul_a_bt(dy_mat, cols_[bi], dw_, /*accumulate=*/true);
+    // db += row sums of dY
+    for (std::size_t oc = 0; oc < out_c_; ++oc) {
+      db_[oc] += ops::sum(dy_mat.flat().subspan(oc * out_plane, out_plane));
+    }
+    // dcol = W^T · dY, then scatter back to image layout.
+    ops::matmul_at_b(w_, dy_mat, dcol);
+    col2im(dcol.data(), in_c_, last_h_, last_w_, kernel_, stride_, pad_, oh, ow,
+           dx.data() + bi * in_c_ * last_h_ * last_w_);
+  }
+  return dx;
+}
+
+void Conv2D::write_spec(BinaryWriter& w) const {
+  w.write_varint(in_c_);
+  w.write_varint(out_c_);
+  w.write_varint(kernel_);
+  w.write_varint(stride_);
+  w.write_varint(pad_);
+  w.write_string(init_name(scheme_));
+}
+
+std::unique_ptr<Layer> Conv2D::clone() const {
+  return std::make_unique<Conv2D>(*this);
+}
+
+}  // namespace vcdl

@@ -1,0 +1,45 @@
+// 2-D convolution (NCHW) implemented as im2col + GEMM.
+//
+// The im2col buffers from the forward pass are cached per batch element so
+// the weight-gradient GEMM in backward() reuses them. Same-padding and
+// strided convolutions are supported; dilation is not (the paper's models do
+// not use it).
+#pragma once
+
+#include "nn/init.hpp"
+#include "nn/layer.hpp"
+
+namespace vcdl {
+
+class Rng;
+
+class Conv2D : public Layer {
+ public:
+  Conv2D(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
+         std::size_t stride, std::size_t pad, Init scheme, Rng& rng);
+
+  /// x: [batch, in_channels, H, W] → [batch, out_channels, OH, OW].
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+  std::vector<Tensor*> params() override { return {&w_, &b_}; }
+  std::vector<Tensor*> grads() override { return {&dw_, &db_}; }
+  std::string kind() const override { return "conv2d"; }
+  void write_spec(BinaryWriter& w) const override;
+  std::unique_ptr<Layer> clone() const override;
+
+  std::size_t out_height(std::size_t h) const { return (h + 2 * pad_ - kernel_) / stride_ + 1; }
+  std::size_t out_width(std::size_t w) const { return (w + 2 * pad_ - kernel_) / stride_ + 1; }
+
+ private:
+  std::size_t in_c_, out_c_, kernel_, stride_, pad_;
+  Init scheme_;
+  Tensor w_;   // [out_c, in_c * k * k]
+  Tensor b_;   // [out_c]
+  Tensor dw_, db_;
+  // Cached from forward for backward:
+  std::vector<Tensor> cols_;          // one [in_c*k*k, OH*OW] matrix per item
+  std::size_t last_h_ = 0, last_w_ = 0, last_batch_ = 0;
+};
+
+}  // namespace vcdl

@@ -1,0 +1,57 @@
+#include "nn/dense.hpp"
+
+#include "common/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace vcdl {
+
+Dense::Dense(std::size_t in, std::size_t out, Init scheme, Rng& rng)
+    : in_(in), out_(out), scheme_(scheme),
+      w_(Shape{in, out}), b_(Shape{out}),
+      dw_(Shape{in, out}), db_(Shape{out}) {
+  VCDL_CHECK(in > 0 && out > 0, "Dense: zero-sized layer");
+  initialize(w_, scheme, in, out, rng);
+}
+
+Tensor Dense::forward(const Tensor& x, bool /*training*/) {
+  VCDL_CHECK(x.shape().rank() == 2 && x.shape()[1] == in_,
+             "Dense::forward: expected [batch, " + std::to_string(in_) +
+                 "], got " + x.shape().to_string());
+  last_x_ = x;
+  Tensor y;
+  ops::matmul(x, w_, y);
+  const std::size_t batch = x.shape()[0];
+  for (std::size_t b = 0; b < batch; ++b) {
+    ops::axpy(1.0f, b_.flat(), y.flat().subspan(b * out_, out_));
+  }
+  return y;
+}
+
+Tensor Dense::backward(const Tensor& grad_out) {
+  VCDL_CHECK(grad_out.shape().rank() == 2 && grad_out.shape()[1] == out_,
+             "Dense::backward: gradient shape mismatch");
+  VCDL_CHECK(last_x_.shape().rank() == 2, "Dense::backward before forward");
+  // dW += x^T · dY
+  ops::matmul_at_b(last_x_, grad_out, dw_, /*accumulate=*/true);
+  // db += column sums of dY
+  const std::size_t batch = grad_out.shape()[0];
+  for (std::size_t b = 0; b < batch; ++b) {
+    ops::axpy(1.0f, grad_out.flat().subspan(b * out_, out_), db_.flat());
+  }
+  // dX = dY · W^T
+  Tensor dx;
+  ops::matmul_a_bt(grad_out, w_, dx);
+  return dx;
+}
+
+void Dense::write_spec(BinaryWriter& w) const {
+  w.write_varint(in_);
+  w.write_varint(out_);
+  w.write_string(init_name(scheme_));
+}
+
+std::unique_ptr<Layer> Dense::clone() const {
+  return std::make_unique<Dense>(*this);
+}
+
+}  // namespace vcdl

@@ -1,0 +1,62 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace vcdl {
+
+void initialize(Tensor& w, Init scheme, std::size_t fan_in, std::size_t fan_out,
+                Rng& rng) {
+  VCDL_CHECK(fan_in > 0 && fan_out > 0, "initialize: zero fan");
+  const double fi = static_cast<double>(fan_in);
+  const double fo = static_cast<double>(fan_out);
+  switch (scheme) {
+    case Init::zeros:
+      w.fill(0.0f);
+      return;
+    case Init::he_normal: {
+      const double s = std::sqrt(2.0 / fi);
+      for (auto& v : w.flat()) v = static_cast<float>(rng.normal(0.0, s));
+      return;
+    }
+    case Init::he_uniform: {
+      const double b = std::sqrt(6.0 / fi);
+      for (auto& v : w.flat()) v = static_cast<float>(rng.uniform(-b, b));
+      return;
+    }
+    case Init::xavier_normal: {
+      const double s = std::sqrt(2.0 / (fi + fo));
+      for (auto& v : w.flat()) v = static_cast<float>(rng.normal(0.0, s));
+      return;
+    }
+    case Init::xavier_uniform: {
+      const double b = std::sqrt(6.0 / (fi + fo));
+      for (auto& v : w.flat()) v = static_cast<float>(rng.uniform(-b, b));
+      return;
+    }
+  }
+  throw InvalidArgument("initialize: unknown scheme");
+}
+
+const char* init_name(Init scheme) {
+  switch (scheme) {
+    case Init::zeros: return "zeros";
+    case Init::he_normal: return "he_normal";
+    case Init::he_uniform: return "he_uniform";
+    case Init::xavier_normal: return "xavier_normal";
+    case Init::xavier_uniform: return "xavier_uniform";
+  }
+  return "?";
+}
+
+Init init_from_name(const std::string& name) {
+  if (name == "zeros") return Init::zeros;
+  if (name == "he_normal") return Init::he_normal;
+  if (name == "he_uniform") return Init::he_uniform;
+  if (name == "xavier_normal") return Init::xavier_normal;
+  if (name == "xavier_uniform") return Init::xavier_uniform;
+  throw InvalidArgument("init_from_name: unknown initializer '" + name + "'");
+}
+
+}  // namespace vcdl

@@ -1,0 +1,32 @@
+// Weight initializers.
+//
+// The paper initializes the ResNetV2 parameters with He-normal (§IV-A); VCDL
+// provides that plus the other standard schemes so baselines and tests can
+// pick what fits their activation functions.
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/tensor.hpp"
+
+namespace vcdl {
+
+class Rng;
+
+enum class Init {
+  zeros,
+  he_normal,       // N(0, sqrt(2 / fan_in)) — the paper's choice
+  he_uniform,      // U(-sqrt(6/fan_in), +sqrt(6/fan_in))
+  xavier_normal,   // N(0, sqrt(2 / (fan_in + fan_out)))
+  xavier_uniform,  // U(+-sqrt(6 / (fan_in + fan_out)))
+};
+
+/// Fills `w` in place according to the scheme. fan_in/fan_out are the
+/// effective fan counts (for conv: channels * kernel area).
+void initialize(Tensor& w, Init scheme, std::size_t fan_in, std::size_t fan_out,
+                Rng& rng);
+
+const char* init_name(Init scheme);
+Init init_from_name(const std::string& name);
+
+}  // namespace vcdl

@@ -1,0 +1,53 @@
+// Layer interface for the sequential training stack.
+//
+// Layers own their parameters and gradient buffers and cache whatever they
+// need from forward() for the subsequent backward(). A model instance is
+// therefore single-threaded by design — every simulated client trains on its
+// own clone, which matches the paper's data-parallel scheme (n clients ⇒ n
+// independent model copies, §II-B).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/blob.hpp"
+#include "tensor/tensor.hpp"
+
+namespace vcdl {
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes the layer output. `training` toggles train-only behaviour
+  /// (dropout masks). Input batch layout is documented per layer.
+  virtual Tensor forward(const Tensor& x, bool training) = 0;
+
+  /// Given dLoss/dOutput, accumulates parameter gradients and returns
+  /// dLoss/dInput. Must be called after forward() on the same input.
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// Trainable parameter tensors (may be empty). Order is stable and is the
+  /// order used by the flat parameter vector.
+  virtual std::vector<Tensor*> params() { return {}; }
+  /// Gradient tensors, parallel to params().
+  virtual std::vector<Tensor*> grads() { return {}; }
+
+  /// Zeroes all gradient buffers.
+  void zero_grads() {
+    for (Tensor* g : grads()) g->fill(0.0f);
+  }
+
+  /// Stable kind tag used by model (de)serialization.
+  virtual std::string kind() const = 0;
+
+  /// Writes the layer's hyperparameters (not weights) so that
+  /// model_io can rebuild an identical architecture.
+  virtual void write_spec(BinaryWriter& w) const = 0;
+
+  /// Deep copy including current weights.
+  virtual std::unique_ptr<Layer> clone() const = 0;
+};
+
+}  // namespace vcdl

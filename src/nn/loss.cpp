@@ -1,0 +1,66 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace vcdl {
+
+Tensor softmax(const Tensor& logits) {
+  VCDL_CHECK(logits.shape().rank() == 2, "softmax expects [batch, classes]");
+  const std::size_t batch = logits.shape()[0], classes = logits.shape()[1];
+  Tensor probs(logits.shape());
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* row = logits.data() + b * classes;
+    float* out = probs.data() + b * classes;
+    const float m = *std::max_element(row, row + classes);
+    double denom = 0.0;
+    for (std::size_t c = 0; c < classes; ++c) {
+      out[c] = std::exp(row[c] - m);
+      denom += out[c];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (std::size_t c = 0; c < classes; ++c) out[c] *= inv;
+  }
+  return probs;
+}
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 std::span<const std::uint16_t> labels) {
+  VCDL_CHECK(logits.shape().rank() == 2,
+             "softmax_cross_entropy expects [batch, classes]");
+  const std::size_t batch = logits.shape()[0], classes = logits.shape()[1];
+  VCDL_CHECK(labels.size() == batch,
+             "softmax_cross_entropy: label count mismatch");
+
+  LossResult result;
+  result.grad = softmax(logits);
+  double total = 0.0;
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const std::size_t y = labels[b];
+    VCDL_CHECK(y < classes, "softmax_cross_entropy: label out of range");
+    float* grad_row = result.grad.data() + b * classes;
+    const double p = std::max(static_cast<double>(grad_row[y]), 1e-12);
+    total -= std::log(p);
+    grad_row[y] -= 1.0f;
+    for (std::size_t c = 0; c < classes; ++c) grad_row[c] *= inv_batch;
+  }
+  result.loss = total / static_cast<double>(batch);
+  return result;
+}
+
+double accuracy(const Tensor& logits, std::span<const std::uint16_t> labels) {
+  VCDL_CHECK(logits.shape().rank() == 2, "accuracy expects [batch, classes]");
+  const std::size_t batch = logits.shape()[0], classes = logits.shape()[1];
+  VCDL_CHECK(labels.size() == batch, "accuracy: label count mismatch");
+  std::size_t correct = 0;
+  for (std::size_t b = 0; b < batch; ++b) {
+    const auto pred = ops::argmax(logits.flat().subspan(b * classes, classes));
+    if (pred == labels[b]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(batch);
+}
+
+}  // namespace vcdl

@@ -1,0 +1,27 @@
+// Softmax cross-entropy loss and related classification utilities.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/tensor.hpp"
+
+namespace vcdl {
+
+struct LossResult {
+  double loss = 0.0;   // mean over the batch
+  Tensor grad;         // dLoss/dLogits, same shape as logits
+};
+
+/// Numerically stable softmax + cross-entropy for integer class labels.
+/// logits: [batch, classes]; labels: batch entries in [0, classes).
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 std::span<const std::uint16_t> labels);
+
+/// Row-wise softmax probabilities (stable).
+Tensor softmax(const Tensor& logits);
+
+/// Fraction of rows whose argmax matches the label.
+double accuracy(const Tensor& logits, std::span<const std::uint16_t> labels);
+
+}  // namespace vcdl

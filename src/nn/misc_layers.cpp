@@ -1,0 +1,130 @@
+#include "nn/misc_layers.hpp"
+
+namespace vcdl {
+
+Tensor Flatten::forward(const Tensor& x, bool /*training*/) {
+  VCDL_CHECK(x.shape().rank() >= 2, "Flatten expects rank >= 2");
+  in_shape_ = x.shape();
+  const std::size_t batch = x.shape()[0];
+  return x.reshaped(Shape{batch, x.numel() / batch});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  VCDL_CHECK(grad_out.numel() == in_shape_.numel(),
+             "Flatten::backward: gradient size mismatch");
+  return grad_out.reshaped(in_shape_);
+}
+
+void Flatten::write_spec(BinaryWriter& /*w*/) const {}
+std::unique_ptr<Layer> Flatten::clone() const {
+  return std::make_unique<Flatten>(*this);
+}
+
+Dropout::Dropout(double rate, std::uint64_t seed)
+    : rate_(rate), seed_(seed), rng_(seed) {
+  VCDL_CHECK(rate >= 0.0 && rate < 1.0, "Dropout rate must be in [0, 1)");
+}
+
+Tensor Dropout::forward(const Tensor& x, bool training) {
+  if (!training || rate_ == 0.0) {
+    used_mask_ = false;
+    return x;
+  }
+  used_mask_ = true;
+  mask_ = Tensor(x.shape());
+  Tensor y = x;
+  const float keep_inv = 1.0f / static_cast<float>(1.0 - rate_);
+  auto mf = mask_.flat();
+  auto yf = y.flat();
+  for (std::size_t i = 0; i < yf.size(); ++i) {
+    if (rng_.bernoulli(rate_)) {
+      mf[i] = 0.0f;
+      yf[i] = 0.0f;
+    } else {
+      mf[i] = keep_inv;
+      yf[i] *= keep_inv;
+    }
+  }
+  return y;
+}
+
+Tensor Dropout::backward(const Tensor& grad_out) {
+  if (!used_mask_) return grad_out;
+  VCDL_CHECK(grad_out.shape() == mask_.shape(),
+             "Dropout::backward: gradient shape mismatch");
+  Tensor dx = grad_out;
+  auto df = dx.flat();
+  auto mf = mask_.flat();
+  for (std::size_t i = 0; i < df.size(); ++i) df[i] *= mf[i];
+  return dx;
+}
+
+void Dropout::write_spec(BinaryWriter& w) const {
+  w.write(rate_);
+  w.write(seed_);
+}
+
+std::unique_ptr<Layer> Dropout::clone() const {
+  return std::make_unique<Dropout>(*this);
+}
+
+Residual::Residual(std::vector<std::unique_ptr<Layer>> inner)
+    : inner_(std::move(inner)) {
+  VCDL_CHECK(!inner_.empty(), "Residual: empty inner stack");
+}
+
+Residual::Residual(const Residual& other) {
+  inner_.reserve(other.inner_.size());
+  for (const auto& layer : other.inner_) inner_.push_back(layer->clone());
+}
+
+Tensor Residual::forward(const Tensor& x, bool training) {
+  Tensor y = x;
+  for (auto& layer : inner_) y = layer->forward(y, training);
+  VCDL_CHECK(y.shape() == x.shape(),
+             "Residual: inner stack changed shape " + x.shape().to_string() +
+                 " -> " + y.shape().to_string());
+  auto yf = y.flat();
+  auto xf = x.flat();
+  for (std::size_t i = 0; i < yf.size(); ++i) yf[i] += xf[i];
+  return y;
+}
+
+Tensor Residual::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (auto it = inner_.rbegin(); it != inner_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  // Shortcut path: dL/dx += dL/dy.
+  auto gf = g.flat();
+  auto of = grad_out.flat();
+  VCDL_CHECK(gf.size() == of.size(), "Residual::backward: size mismatch");
+  for (std::size_t i = 0; i < gf.size(); ++i) gf[i] += of[i];
+  return g;
+}
+
+std::vector<Tensor*> Residual::params() {
+  std::vector<Tensor*> out;
+  for (auto& layer : inner_) {
+    for (Tensor* p : layer->params()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Tensor*> Residual::grads() {
+  std::vector<Tensor*> out;
+  for (auto& layer : inner_) {
+    for (Tensor* g : layer->grads()) out.push_back(g);
+  }
+  return out;
+}
+
+// Inner layers are serialized recursively by model_io (which knows the layer
+// factory); the spec itself carries nothing.
+void Residual::write_spec(BinaryWriter& /*w*/) const {}
+
+std::unique_ptr<Layer> Residual::clone() const {
+  return std::make_unique<Residual>(*this);
+}
+
+}  // namespace vcdl

@@ -1,0 +1,31 @@
+// Model (de)serialization.
+//
+// Mirrors the paper's artifact split: the *architecture* file (their 269 KB
+// .json) and the *parameter* file (their 21.2 MB compressed .h5) are separate
+// blobs, because the work generator ships the architecture once per job but a
+// fresh parameter copy with every subtask.
+#pragma once
+
+#include "common/blob.hpp"
+#include "nn/model.hpp"
+
+namespace vcdl {
+
+/// Serializes the layer stack (kinds + hyperparameters, no weights).
+Blob save_architecture(const Model& model);
+
+/// Rebuilds a model from save_architecture() output. Weights are freshly
+/// initialized per each layer's recorded scheme and `seed`.
+Model load_architecture(const Blob& blob, std::uint64_t seed = 0);
+
+/// Serializes the flat parameter vector (with a checksum).
+Blob save_params(const Model& model);
+Blob save_params(std::span<const float> flat);
+
+/// Reads a parameter blob back into a flat vector; verifies the checksum.
+std::vector<float> load_params(const Blob& blob);
+
+/// Convenience: load a parameter blob directly into a model.
+void load_params_into(Model& model, const Blob& blob);
+
+}  // namespace vcdl

@@ -1,0 +1,38 @@
+// Reference model builders.
+//
+// `resnet_lite` is the reproduction's stand-in for the paper's ResNetV2-552:
+// a residual CNN with identity shortcuts, He-normal init and a softmax head,
+// scaled to sizes that train in seconds on CPU (DESIGN.md §1 records the
+// substitution). `mlp` is used by unit tests and fast CI paths.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/model.hpp"
+
+namespace vcdl {
+
+struct MlpSpec {
+  std::size_t inputs = 0;
+  std::vector<std::size_t> hidden;
+  std::size_t classes = 10;
+};
+
+/// Plain ReLU MLP with He-normal init.
+Model make_mlp(const MlpSpec& spec, std::uint64_t seed);
+
+struct ResNetLiteSpec {
+  std::size_t channels = 3;     // input image channels
+  std::size_t height = 12;
+  std::size_t width = 12;
+  std::size_t base_filters = 8; // first conv width
+  std::size_t blocks = 2;       // residual blocks per stage (2 stages)
+  std::size_t classes = 10;
+};
+
+/// Residual CNN: stem conv → stage 1 (blocks × residual[conv-relu-conv]) →
+/// maxpool + widen → stage 2 → global average pool → dense softmax head.
+Model make_resnet_lite(const ResNetLiteSpec& spec, std::uint64_t seed);
+
+}  // namespace vcdl

@@ -1,0 +1,81 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace vcdl {
+namespace {
+
+// Lazily sizes per-parameter state to match the model.
+void ensure_state(std::vector<std::vector<float>>& state,
+                  const std::vector<Tensor*>& params) {
+  if (state.size() == params.size()) return;
+  VCDL_CHECK(state.empty(), "optimizer reused with a different model");
+  state.reserve(params.size());
+  for (const Tensor* p : params) state.emplace_back(p->numel(), 0.0f);
+}
+
+}  // namespace
+
+void Sgd::step(Model& model) {
+  auto params = model.params();
+  auto grads = model.grads();
+  const auto lr = static_cast<float>(lr_);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    auto w = params[i]->flat();
+    auto g = grads[i]->flat();
+    for (std::size_t j = 0; j < w.size(); ++j) w[j] -= lr * g[j];
+  }
+}
+
+void MomentumSgd::step(Model& model) {
+  auto params = model.params();
+  auto grads = model.grads();
+  ensure_state(velocity_, params);
+  const auto lr = static_cast<float>(lr_);
+  const auto mu = static_cast<float>(mu_);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    auto w = params[i]->flat();
+    auto g = grads[i]->flat();
+    auto& v = velocity_[i];
+    VCDL_CHECK(v.size() == w.size(), "MomentumSgd: model shape changed");
+    for (std::size_t j = 0; j < w.size(); ++j) {
+      v[j] = mu * v[j] + g[j];
+      w[j] -= lr * v[j];
+    }
+  }
+}
+
+void Adam::step(Model& model) {
+  auto params = model.params();
+  auto grads = model.grads();
+  ensure_state(m_, params);
+  ensure_state(v_, params);
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  const auto lr = static_cast<float>(lr_ * std::sqrt(bc2) / bc1);
+  const auto b1 = static_cast<float>(beta1_);
+  const auto b2 = static_cast<float>(beta2_);
+  const auto eps = static_cast<float>(eps_);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    auto w = params[i]->flat();
+    auto g = grads[i]->flat();
+    auto& m = m_[i];
+    auto& v = v_[i];
+    VCDL_CHECK(m.size() == w.size(), "Adam: model shape changed");
+    for (std::size_t j = 0; j < w.size(); ++j) {
+      m[j] = b1 * m[j] + (1.0f - b1) * g[j];
+      v[j] = b2 * v[j] + (1.0f - b2) * g[j] * g[j];
+      w[j] -= lr * m[j] / (std::sqrt(v[j]) + eps);
+    }
+  }
+}
+
+std::unique_ptr<Optimizer> make_optimizer(const std::string& name, double lr) {
+  if (name == "sgd") return std::make_unique<Sgd>(lr);
+  if (name == "momentum") return std::make_unique<MomentumSgd>(lr, 0.9);
+  if (name == "adam") return std::make_unique<Adam>(lr);
+  throw InvalidArgument("make_optimizer: unknown optimizer '" + name + "'");
+}
+
+}  // namespace vcdl

@@ -1,0 +1,69 @@
+// First-order optimizers.
+//
+// The paper trains clients with Adam at a constant learning rate of 0.001 and
+// no momentum/regularization (§IV-A); plain SGD and momentum-SGD are included
+// for the baselines and tests. Optimizers keep per-parameter state keyed by
+// position, so they must be constructed for (and used with) one model.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/model.hpp"
+
+namespace vcdl {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  /// Applies one update step from the model's current gradients.
+  virtual void step(Model& model) = 0;
+  virtual std::string name() const = 0;
+  double learning_rate() const { return lr_; }
+  void set_learning_rate(double lr) { lr_ = lr; }
+
+ protected:
+  explicit Optimizer(double lr) : lr_(lr) {}
+  double lr_;
+};
+
+/// Vanilla stochastic gradient descent: w -= lr * g.
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(double lr) : Optimizer(lr) {}
+  void step(Model& model) override;
+  std::string name() const override { return "sgd"; }
+};
+
+/// Heavy-ball momentum: v = mu*v + g; w -= lr * v.
+class MomentumSgd : public Optimizer {
+ public:
+  MomentumSgd(double lr, double momentum) : Optimizer(lr), mu_(momentum) {}
+  void step(Model& model) override;
+  std::string name() const override { return "momentum"; }
+
+ private:
+  double mu_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam : public Optimizer {
+ public:
+  explicit Adam(double lr = 1e-3, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-8)
+      : Optimizer(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+  void step(Model& model) override;
+  std::string name() const override { return "adam"; }
+
+ private:
+  double beta1_, beta2_, eps_;
+  std::size_t t_ = 0;
+  std::vector<std::vector<float>> m_, v_;
+};
+
+/// Factory: "sgd", "momentum", "adam".
+std::unique_ptr<Optimizer> make_optimizer(const std::string& name, double lr);
+
+}  // namespace vcdl

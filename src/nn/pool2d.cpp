@@ -1,0 +1,105 @@
+#include "nn/pool2d.hpp"
+
+namespace vcdl {
+
+MaxPool2D::MaxPool2D(std::size_t window) : window_(window) {
+  VCDL_CHECK(window > 0, "MaxPool2D: zero window");
+}
+
+Tensor MaxPool2D::forward(const Tensor& x, bool /*training*/) {
+  VCDL_CHECK(x.shape().rank() == 4, "MaxPool2D::forward expects NCHW");
+  const std::size_t batch = x.shape()[0], c = x.shape()[1];
+  const std::size_t h = x.shape()[2], w = x.shape()[3];
+  VCDL_CHECK(h % window_ == 0 && w % window_ == 0,
+             "MaxPool2D: input " + x.shape().to_string() +
+                 " not divisible by window " + std::to_string(window_));
+  in_shape_ = x.shape();
+  const std::size_t oh = h / window_, ow = w / window_;
+  Tensor y(Shape{batch, c, oh, ow});
+  argmax_.assign(y.numel(), 0);
+
+  const float* xp = x.data();
+  float* yp = y.data();
+  std::size_t out_idx = 0;
+  for (std::size_t bc = 0; bc < batch * c; ++bc) {
+    const float* plane = xp + bc * h * w;
+    const std::size_t plane_base = bc * h * w;
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        float best = plane[oy * window_ * w + ox * window_];
+        std::size_t best_idx = oy * window_ * w + ox * window_;
+        for (std::size_t ky = 0; ky < window_; ++ky) {
+          for (std::size_t kx = 0; kx < window_; ++kx) {
+            const std::size_t idx = (oy * window_ + ky) * w + ox * window_ + kx;
+            if (plane[idx] > best) {
+              best = plane[idx];
+              best_idx = idx;
+            }
+          }
+        }
+        yp[out_idx] = best;
+        argmax_[out_idx] = plane_base + best_idx;
+        ++out_idx;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool2D::backward(const Tensor& grad_out) {
+  VCDL_CHECK(grad_out.numel() == argmax_.size(),
+             "MaxPool2D::backward: gradient size mismatch");
+  Tensor dx(in_shape_);
+  const float* gp = grad_out.data();
+  float* dp = dx.data();
+  for (std::size_t i = 0; i < argmax_.size(); ++i) dp[argmax_[i]] += gp[i];
+  return dx;
+}
+
+void MaxPool2D::write_spec(BinaryWriter& w) const { w.write_varint(window_); }
+
+std::unique_ptr<Layer> MaxPool2D::clone() const {
+  return std::make_unique<MaxPool2D>(*this);
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& x, bool /*training*/) {
+  VCDL_CHECK(x.shape().rank() == 4, "GlobalAvgPool::forward expects NCHW");
+  in_shape_ = x.shape();
+  const std::size_t batch = x.shape()[0], c = x.shape()[1];
+  const std::size_t plane = x.shape()[2] * x.shape()[3];
+  Tensor y(Shape{batch, c});
+  const float* xp = x.data();
+  float* yp = y.data();
+  const float inv = 1.0f / static_cast<float>(plane);
+  for (std::size_t bc = 0; bc < batch * c; ++bc) {
+    double acc = 0.0;
+    for (std::size_t p = 0; p < plane; ++p) acc += xp[bc * plane + p];
+    yp[bc] = static_cast<float>(acc) * inv;
+  }
+  return y;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
+  VCDL_CHECK(in_shape_.rank() == 4, "GlobalAvgPool::backward before forward");
+  const std::size_t batch = in_shape_[0], c = in_shape_[1];
+  const std::size_t plane = in_shape_[2] * in_shape_[3];
+  VCDL_CHECK((grad_out.shape() == Shape{batch, c}),
+             "GlobalAvgPool::backward: gradient shape mismatch");
+  Tensor dx(in_shape_);
+  const float inv = 1.0f / static_cast<float>(plane);
+  const float* gp = grad_out.data();
+  float* dp = dx.data();
+  for (std::size_t bc = 0; bc < batch * c; ++bc) {
+    const float g = gp[bc] * inv;
+    for (std::size_t p = 0; p < plane; ++p) dp[bc * plane + p] = g;
+  }
+  return dx;
+}
+
+void GlobalAvgPool::write_spec(BinaryWriter& /*w*/) const {}
+
+std::unique_ptr<Layer> GlobalAvgPool::clone() const {
+  return std::make_unique<GlobalAvgPool>(*this);
+}
+
+}  // namespace vcdl

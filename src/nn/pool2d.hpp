@@ -1,0 +1,38 @@
+// 2-D pooling layers (NCHW).
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace vcdl {
+
+/// Non-overlapping (stride == window) max pooling.
+class MaxPool2D : public Layer {
+ public:
+  explicit MaxPool2D(std::size_t window);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string kind() const override { return "maxpool2d"; }
+  void write_spec(BinaryWriter& w) const override;
+  std::unique_ptr<Layer> clone() const override;
+
+ private:
+  std::size_t window_;
+  Shape in_shape_;
+  std::vector<std::size_t> argmax_;  // flat input index of each output element
+};
+
+/// Global average pooling: [B, C, H, W] → [B, C].
+class GlobalAvgPool : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string kind() const override { return "gavgpool"; }
+  void write_spec(BinaryWriter& w) const override;
+  std::unique_ptr<Layer> clone() const override;
+
+ private:
+  Shape in_shape_;
+};
+
+}  // namespace vcdl

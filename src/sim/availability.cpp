@@ -1,0 +1,28 @@
+#include "sim/availability.hpp"
+
+namespace vcdl {
+
+SimTime AvailabilityModel::sample_up(Rng& rng) const {
+  VCDL_CHECK(enabled(), "AvailabilityModel: sampling a disabled model");
+  return rng.exponential(1.0 / mean_up_s);
+}
+
+SimTime AvailabilityModel::sample_down(Rng& rng) const {
+  VCDL_CHECK(mean_down_s > 0.0, "AvailabilityModel: non-positive downtime");
+  return rng.exponential(1.0 / mean_down_s);
+}
+
+double AvailabilityModel::duty_cycle() const {
+  if (!enabled()) return 1.0;
+  return mean_up_s / (mean_up_s + mean_down_s);
+}
+
+AvailabilityModel AvailabilityModel::home_desktop() {
+  return AvailabilityModel{.mean_up_s = 4.0 * 3600.0, .mean_down_s = 2.0 * 3600.0};
+}
+
+AvailabilityModel AvailabilityModel::laptop() {
+  return AvailabilityModel{.mean_up_s = 45.0 * 60.0, .mean_down_s = 90.0 * 60.0};
+}
+
+}  // namespace vcdl

@@ -1,0 +1,41 @@
+// Volunteer availability model.
+//
+// Traditional VC nodes are desktops and laptops whose owners "may start or
+// shutdown their devices any time" (§II-C) — unlike preemptible cloud
+// instances, their downtime follows a duty cycle (on while the owner works /
+// leaves the machine idle, off otherwise). AvailabilityModel generates
+// alternating up/down intervals from exponentially distributed session and
+// gap lengths, giving the grid a volunteer-like churn pattern that composes
+// with (or replaces) the Poisson preemption process.
+#pragma once
+
+#include "common/rng.hpp"
+#include "sim/engine.hpp"
+
+namespace vcdl {
+
+struct AvailabilityModel {
+  /// Mean length of an online session (0 ⇒ always on).
+  SimTime mean_up_s = 0.0;
+  /// Mean length of an offline gap.
+  SimTime mean_down_s = 1800.0;
+
+  bool enabled() const { return mean_up_s > 0.0; }
+
+  /// Duration of the next online session (exponential, mean mean_up_s).
+  SimTime sample_up(Rng& rng) const;
+  /// Duration of the next offline gap (exponential, mean mean_down_s).
+  SimTime sample_down(Rng& rng) const;
+
+  /// Long-run fraction of time the volunteer is online.
+  double duty_cycle() const;
+
+  /// Convenience presets.
+  static AvailabilityModel always_on() { return {}; }
+  /// A home desktop: ~4 h sessions, ~2 h gaps (≈ 67 % available).
+  static AvailabilityModel home_desktop();
+  /// A laptop: ~45 min sessions, ~90 min gaps (≈ 33 % available).
+  static AvailabilityModel laptop();
+};
+
+}  // namespace vcdl

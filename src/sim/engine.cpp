@@ -1,0 +1,89 @@
+#include "sim/engine.hpp"
+
+#include <unordered_map>
+
+namespace vcdl {
+
+EventId SimEngine::schedule(SimTime delay, std::function<void()> fn) {
+  VCDL_CHECK(delay >= 0.0, "SimEngine::schedule: negative delay");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventId SimEngine::schedule_at(SimTime when, std::function<void()> fn) {
+  VCDL_CHECK(when >= now_, "SimEngine::schedule_at: time in the past");
+  VCDL_CHECK(fn != nullptr, "SimEngine::schedule_at: null callback");
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{when, seq});
+  callbacks_.emplace(seq, std::move(fn));
+  return EventId{seq};
+}
+
+bool SimEngine::cancel(EventId id) {
+  const auto it = callbacks_.find(id.seq);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  ++cancelled_count_;  // heap entry becomes stale; skipped on pop
+  return true;
+}
+
+bool SimEngine::pop_next(Entry& out) {
+  while (!heap_.empty()) {
+    const Entry top = heap_.top();
+    heap_.pop();
+    if (callbacks_.count(top.seq) == 0) {
+      --cancelled_count_;  // stale (cancelled) entry
+      continue;
+    }
+    out = top;
+    return true;
+  }
+  return false;
+}
+
+SimTime SimEngine::run() {
+  Entry e;
+  while (pop_next(e)) {
+    now_ = e.time;
+    auto it = callbacks_.find(e.seq);
+    auto fn = std::move(it->second);
+    callbacks_.erase(it);
+    ++executed_;
+    fn();
+  }
+  return now_;
+}
+
+SimTime SimEngine::run_until(SimTime until) {
+  Entry e;
+  while (pop_next(e)) {
+    if (e.time > until) {
+      // Put it back: not yet due. (Re-push preserves ordering; the seq is
+      // unchanged so FIFO order within a timestamp is intact.)
+      heap_.push(e);
+      now_ = until;
+      return now_;
+    }
+    now_ = e.time;
+    auto it = callbacks_.find(e.seq);
+    auto fn = std::move(it->second);
+    callbacks_.erase(it);
+    ++executed_;
+    fn();
+  }
+  now_ = until;
+  return now_;
+}
+
+bool SimEngine::step() {
+  Entry e;
+  if (!pop_next(e)) return false;
+  now_ = e.time;
+  auto it = callbacks_.find(e.seq);
+  auto fn = std::move(it->second);
+  callbacks_.erase(it);
+  ++executed_;
+  fn();
+  return true;
+}
+
+}  // namespace vcdl

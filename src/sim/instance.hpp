@@ -1,0 +1,85 @@
+// Cloud instance catalogue (the paper's Table I) and the compute-time model.
+//
+// An InstanceType captures what Table I reports — vCPU count, clock speed,
+// RAM, network bandwidth — plus pricing (standard vs preemptible) and the
+// spot-advisor interruption bucket used by §IV-E. The compute model converts
+// a subtask's abstract work into simulated seconds given how many subtasks
+// share the instance (the paper's Tn), reproducing the saturation behaviour
+// §IV-B reports ("throughput of the client computing instances decreases
+// after T8").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace vcdl {
+
+struct InstanceType {
+  std::string name;
+  std::size_t vcpus = 8;
+  double clock_ghz = 2.3;
+  double ram_gb = 32;
+  double net_gbps = 5;             // peak NIC bandwidth
+  double hourly_usd = 0.334;       // standard (on-demand) price
+  double preemptible_discount = 0.70;  // fraction saved (0.70–0.90 per paper)
+  double interruption_per_hour = 0.0;  // 0 for standard instances
+  /// Threads a single training subtask can use (TF intra-op parallelism).
+  std::size_t threads_per_task = 4;
+  /// Accelerator speedup over a CPU thread at the same clock (1 = CPU-only;
+  /// a GPU instance trains each subtask this many times faster — the §V
+  /// "applying our design to GPU instances" extension).
+  double accel_factor = 1.0;
+
+  double preemptible_hourly_usd() const {
+    return hourly_usd * (1.0 - preemptible_discount);
+  }
+  double net_bytes_per_sec() const { return net_gbps * 1e9 / 8.0; }
+};
+
+/// Tunables of the execution-time model below.
+struct ComputeModel {
+  double task_ram_gb = 3.8;    // working set of one training subtask
+  double os_reserve_gb = 1.0;  // RAM unavailable to subtasks
+  double swap_penalty = 2.5;   // slowdown once the instance starts swapping
+  /// Log-normal sigma of per-subtask duration noise (OS scheduling, shared
+  /// tenancy). Keeps identical subtasks from finishing in perfect lockstep.
+  double exec_jitter_sigma = 0.08;
+};
+
+/// Simulated execution-time model for a client running `concurrent` subtasks.
+///
+/// Each subtask carries `work` abstract work units (≈ GFLOPs); a vCPU at
+/// `clock_ghz` retires work at clock_ghz units/s. A subtask can use at most
+/// threads_per_task vCPUs; concurrent subtasks share the pool evenly. Once
+/// the combined working set exceeds usable RAM the whole instance pays a
+/// swap penalty — this is what makes high Tn regress on the paper's
+/// small-RAM clients (§IV-B).
+SimTime subtask_exec_time(const InstanceType& type, double work,
+                          std::size_t concurrent,
+                          const ComputeModel& model = {});
+
+/// The paper's Table I fleet: one server row + four client rows.
+struct FleetCatalog {
+  InstanceType server;
+  std::vector<InstanceType> client_types;
+};
+
+/// Instance configurations reproducing Table I (prices chosen so the P5C5T2
+/// fleet costs $1.67/hr standard and $0.50/hr preemptible as in §IV-E).
+FleetCatalog table1_catalog();
+
+/// GPU fleet for the §V extension: same server, single-GPU clients priced at
+/// typical cloud GPU rates with the same 70% preemptible discount.
+FleetCatalog gpu_catalog();
+
+/// Picks `count` client instances round-robin from the catalogue's client
+/// rows (the paper mixes instance types within one fleet).
+std::vector<InstanceType> make_client_fleet(const FleetCatalog& catalog,
+                                            std::size_t count,
+                                            bool preemptible,
+                                            double interruption_per_hour);
+
+}  // namespace vcdl

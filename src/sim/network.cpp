@@ -1,0 +1,21 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vcdl {
+
+SimTime NetworkModel::transfer_time(std::size_t bytes, const InstanceType& a,
+                                    const InstanceType& b, Rng& rng) const {
+  const double bw = std::min(a.net_bytes_per_sec(), b.net_bytes_per_sec()) *
+                    bandwidth_efficiency / std::max(1.0, wan_bandwidth_factor);
+  VCDL_CHECK(bw > 0.0, "NetworkModel: zero bandwidth");
+  double latency = base_latency_s;
+  if (latency_sigma > 0.0) {
+    // Log-normal multiplier with median 1 — occasionally slow, never negative.
+    latency *= rng.lognormal(0.0, latency_sigma);
+  }
+  return latency + static_cast<double>(bytes) / bw;
+}
+
+}  // namespace vcdl

@@ -1,0 +1,33 @@
+// Network latency/bandwidth model.
+//
+// VC clients reach the server over WAN links with variable latency (§II-A);
+// the model charges per-transfer time = RTT-ish base latency (log-normally
+// jittered) + payload / min(client NIC, server NIC) bandwidth. Transfers of
+// compressed artifacts charge the compressed size — the file-server codec
+// decides that.
+#pragma once
+
+#include "common/rng.hpp"
+#include "sim/engine.hpp"
+#include "sim/instance.hpp"
+
+namespace vcdl {
+
+struct NetworkModel {
+  /// Median one-way setup latency per transfer (HTTP request + TCP).
+  double base_latency_s = 0.05;
+  /// Log-normal sigma of the latency multiplier (0 = deterministic).
+  double latency_sigma = 0.35;
+  /// Fraction of the nominal NIC bandwidth actually achieved (TCP overhead,
+  /// shared tenancy).
+  double bandwidth_efficiency = 0.6;
+  /// Extra WAN penalty multiplier on bandwidth (1 = datacenter LAN; a
+  /// volunteer on home broadband might be 10–50).
+  double wan_bandwidth_factor = 1.0;
+
+  /// Simulated seconds to move `bytes` between two instances.
+  SimTime transfer_time(std::size_t bytes, const InstanceType& a,
+                        const InstanceType& b, Rng& rng) const;
+};
+
+}  // namespace vcdl

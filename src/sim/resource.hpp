@@ -1,0 +1,58 @@
+// Virtual-time synchronization primitives.
+//
+// SimMutex serializes critical sections in *simulated* time: acquire() grants
+// the lock immediately (same timestamp) when free, otherwise queues the
+// continuation until release(). Used to model the strong-consistency store's
+// transaction serialization (§IV-D) without real threads.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/error.hpp"
+
+namespace vcdl {
+
+class SimMutex {
+ public:
+  /// Runs `critical` once the lock is granted (possibly immediately, at the
+  /// current event). The holder must call release() when its critical
+  /// section's virtual duration has elapsed.
+  void acquire(std::function<void()> critical);
+  void release();
+
+  bool held() const { return held_; }
+  std::size_t waiting() const { return waiters_.size(); }
+  /// Total acquisitions that had to wait (contention metric).
+  std::uint64_t contended() const { return contended_; }
+
+ private:
+  bool held_ = false;
+  std::deque<std::function<void()>> waiters_;
+  std::uint64_t contended_ = 0;
+};
+
+inline void SimMutex::acquire(std::function<void()> critical) {
+  VCDL_CHECK(critical != nullptr, "SimMutex::acquire: null continuation");
+  if (!held_) {
+    held_ = true;
+    critical();
+    return;
+  }
+  ++contended_;
+  waiters_.push_back(std::move(critical));
+}
+
+inline void SimMutex::release() {
+  VCDL_CHECK(held_, "SimMutex::release without holder");
+  if (waiters_.empty()) {
+    held_ = false;
+    return;
+  }
+  auto next = std::move(waiters_.front());
+  waiters_.pop_front();
+  next();  // lock stays held by the next owner
+}
+
+}  // namespace vcdl

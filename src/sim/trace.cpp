@@ -1,0 +1,47 @@
+#include "sim/trace.hpp"
+
+namespace vcdl {
+
+const char* trace_kind_name(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::work_generated: return "work_generated";
+    case TraceKind::assigned: return "assigned";
+    case TraceKind::download: return "download";
+    case TraceKind::exec_start: return "exec_start";
+    case TraceKind::exec_done: return "exec_done";
+    case TraceKind::upload: return "upload";
+    case TraceKind::result_received: return "result_received";
+    case TraceKind::assimilated: return "assimilated";
+    case TraceKind::validated: return "validated";
+    case TraceKind::timeout_reassign: return "timeout_reassign";
+    case TraceKind::preempted: return "preempted";
+    case TraceKind::instance_up: return "instance_up";
+    case TraceKind::epoch_done: return "epoch_done";
+    case TraceKind::job_done: return "job_done";
+  }
+  return "?";
+}
+
+void TraceLog::record(SimTime time, TraceKind kind, std::string actor,
+                      std::string detail) {
+  if (!enabled_) return;
+  events_.push_back(TraceEvent{time, kind, std::move(actor), std::move(detail)});
+}
+
+std::size_t TraceLog::count(TraceKind kind) const {
+  std::size_t n = 0;
+  for (const auto& e : events_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+std::vector<TraceEvent> TraceLog::filter(TraceKind kind) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_) {
+    if (e.kind == kind) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace vcdl

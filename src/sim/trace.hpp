@@ -1,0 +1,62 @@
+// Structured event tracing for simulation runs.
+//
+// Every notable event in a run (assignment, download, execution, upload,
+// assimilation, timeout, preemption, epoch end) is appended with its virtual
+// timestamp. Tests assert causality and fault-handling on the trace; benches
+// keep it off unless debugging.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace vcdl {
+
+enum class TraceKind : std::uint8_t {
+  work_generated,
+  assigned,
+  download,
+  exec_start,
+  exec_done,
+  upload,
+  result_received,
+  assimilated,
+  validated,
+  timeout_reassign,
+  preempted,
+  instance_up,
+  epoch_done,
+  job_done,
+};
+
+const char* trace_kind_name(TraceKind kind);
+
+struct TraceEvent {
+  SimTime time = 0.0;
+  TraceKind kind = TraceKind::work_generated;
+  std::string actor;   // "client-3", "ps-1", "scheduler", ...
+  std::string detail;  // free-form, e.g. "wu=epoch2/shard17"
+};
+
+class TraceLog {
+ public:
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  void record(SimTime time, TraceKind kind, std::string actor,
+              std::string detail = {});
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t count(TraceKind kind) const;
+  /// Events of one kind in time order.
+  std::vector<TraceEvent> filter(TraceKind kind) const;
+  void clear() { events_.clear(); }
+
+ private:
+  bool enabled_ = true;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace vcdl

@@ -1,0 +1,66 @@
+#include "storage/eventual_store.hpp"
+
+#include <functional>
+
+namespace vcdl {
+
+EventualStore::Shard& EventualStore::shard_for(const std::string& key) {
+  return shards_[std::hash<std::string>{}(key) % kShards];
+}
+
+std::optional<VersionedValue> EventualStore::get(const std::string& key) {
+  auto& shard = shard_for(key);
+  std::lock_guard lock(shard.mutex);
+  {
+    std::lock_guard slock(stats_mutex_);
+    ++stats_.reads;
+  }
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end()) return std::nullopt;
+  return it->second;
+}
+
+std::uint64_t EventualStore::put(const std::string& key, Blob value,
+                                 std::uint64_t read_version) {
+  auto& shard = shard_for(key);
+  std::lock_guard lock(shard.mutex);
+  auto& slot = shard.map[key];
+  const bool lost = read_version != 0 && slot.version != read_version;
+  {
+    std::lock_guard slock(stats_mutex_);
+    ++stats_.writes;
+    if (lost) ++stats_.lost_updates;  // we clobber a version we never saw
+  }
+  slot.value = std::move(value);
+  return ++slot.version;
+}
+
+std::uint64_t EventualStore::update(const std::string& key,
+                                    const std::function<Blob(const Blob*)>& fn) {
+  // Deliberately NOT atomic: read, compute outside the lock, blind write.
+  // Two concurrent updaters can both read version v and the second write
+  // wins — the first updater's contribution is lost (and counted).
+  const auto current = get(key);
+  const Blob* base = current ? &current->value : nullptr;
+  Blob next = fn(base);
+  return put(key, std::move(next), current ? current->version : 0);
+}
+
+bool EventualStore::contains(const std::string& key) {
+  auto& shard = shard_for(key);
+  std::lock_guard lock(shard.mutex);
+  return shard.map.count(key) > 0;
+}
+
+void EventualStore::erase(const std::string& key) {
+  auto& shard = shard_for(key);
+  std::lock_guard lock(shard.mutex);
+  shard.map.erase(key);
+}
+
+StoreStats EventualStore::stats() const {
+  std::lock_guard lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace vcdl

@@ -1,0 +1,15 @@
+#include <memory>
+
+#include "storage/eventual_store.hpp"
+#include "storage/strong_store.hpp"
+
+namespace vcdl {
+
+std::unique_ptr<KvStore> make_store(const std::string& kind) {
+  if (kind == "strong") return std::make_unique<StrongStore>();
+  if (kind == "eventual") return std::make_unique<EventualStore>();
+  throw InvalidArgument("make_store: unknown store kind '" + kind +
+                        "' (expected 'strong' or 'eventual')");
+}
+
+}  // namespace vcdl

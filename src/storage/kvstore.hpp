@@ -1,0 +1,96 @@
+// Key-value parameter store interface (§III-D, §IV-D).
+//
+// The paper stores the shared server parameter copy in a database so that
+// multiple parameter servers can update it concurrently, and compares Redis
+// (main-memory, eventual consistency, 0.87 s/update) against MySQL (strong
+// consistency, 1.29 s/update). VCDL's stores are real thread-safe in-memory
+// maps with the two consistency semantics:
+//
+//  * StrongStore  — update() is an atomic read-modify-write under a per-key
+//    lock; concurrent updaters serialize, nothing is ever lost.
+//  * EventualStore — readers get a (possibly stale) versioned snapshot and
+//    writers blindly last-write-wins; a read-modify-write that raced another
+//    writer silently discards that writer's contribution. The store counts
+//    these lost updates so experiments can report them.
+//
+// Each store also carries a *latency model*: the simulated per-operation
+// cost charged by the DES (calibrated to the paper's measurements). The
+// in-memory operation itself is fast; the model is what an experiment bills.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/blob.hpp"
+
+namespace vcdl {
+
+struct VersionedValue {
+  Blob value;
+  std::uint64_t version = 0;
+};
+
+struct StoreStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  /// EventualStore: writes that clobbered a version the writer had not seen
+  /// (the racing writer's update is lost).
+  std::uint64_t lost_updates = 0;
+  /// StrongStore: lock acquisitions that had to wait.
+  std::uint64_t contended_updates = 0;
+};
+
+/// Simulated per-operation latency (seconds). The defaults reproduce §IV-D:
+/// one parameter *update* (read + blend + write) costs 0.87 s on Redis and
+/// 1.29 s on MySQL; VCDL splits that into read/write halves.
+struct StoreLatencyModel {
+  double read_s = 0.0;
+  double write_s = 0.0;
+  double update_s() const { return read_s + write_s; }
+};
+
+class KvStore {
+ public:
+  virtual ~KvStore() = default;
+
+  virtual std::string kind() const = 0;
+
+  /// Versioned read; nullopt when the key does not exist.
+  virtual std::optional<VersionedValue> get(const std::string& key) = 0;
+
+  /// Writes `value`. `read_version` is the version the writer based its
+  /// value on (0 = blind write); the store uses it to detect lost updates.
+  /// Returns the new version.
+  virtual std::uint64_t put(const std::string& key, Blob value,
+                            std::uint64_t read_version = 0) = 0;
+
+  /// Atomic read-modify-write; `fn` receives the current value (nullptr when
+  /// missing) and returns the new one. On a strong store this serializes; on
+  /// an eventual store it deliberately decomposes into get + put and is NOT
+  /// atomic under concurrency.
+  virtual std::uint64_t update(const std::string& key,
+                               const std::function<Blob(const Blob*)>& fn) = 0;
+
+  virtual bool contains(const std::string& key) = 0;
+  virtual void erase(const std::string& key) = 0;
+
+  virtual StoreStats stats() const = 0;
+
+  const StoreLatencyModel& latency() const { return latency_; }
+  void set_latency(StoreLatencyModel model) { latency_ = model; }
+
+ protected:
+  StoreLatencyModel latency_;
+};
+
+/// Latency presets from the paper's measurements (§IV-D).
+StoreLatencyModel redis_like_latency();   // 0.87 s per update
+StoreLatencyModel mysql_like_latency();   // 1.29 s per update
+
+/// Factory: "strong" (MySQL-like) or "eventual" (Redis-like).
+std::unique_ptr<KvStore> make_store(const std::string& kind);
+
+}  // namespace vcdl

@@ -1,0 +1,63 @@
+#include "storage/strong_store.hpp"
+
+namespace vcdl {
+
+StoreLatencyModel redis_like_latency() {
+  // 0.87 s per read-modify-write (§IV-D), split 40/60 read/write.
+  return StoreLatencyModel{.read_s = 0.35, .write_s = 0.52};
+}
+
+StoreLatencyModel mysql_like_latency() {
+  // 1.29 s per update transaction (§IV-D).
+  return StoreLatencyModel{.read_s = 0.52, .write_s = 0.77};
+}
+
+std::optional<VersionedValue> StrongStore::get(const std::string& key) {
+  std::lock_guard lock(mutex_);
+  ++stats_.reads;
+  const auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::uint64_t StrongStore::put(const std::string& key, Blob value,
+                               std::uint64_t /*read_version*/) {
+  std::lock_guard lock(mutex_);
+  ++stats_.writes;
+  auto& slot = map_[key];
+  slot.value = std::move(value);
+  return ++slot.version;
+}
+
+std::uint64_t StrongStore::update(const std::string& key,
+                                  const std::function<Blob(const Blob*)>& fn) {
+  // try_lock first so contention is observable in stats.
+  std::unique_lock lock(mutex_, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    lock.lock();
+    ++stats_.contended_updates;
+  }
+  ++stats_.reads;
+  ++stats_.writes;
+  auto& slot = map_[key];
+  const Blob* current = slot.version > 0 ? &slot.value : nullptr;
+  slot.value = fn(current);
+  return ++slot.version;
+}
+
+bool StrongStore::contains(const std::string& key) {
+  std::lock_guard lock(mutex_);
+  return map_.count(key) > 0;
+}
+
+void StrongStore::erase(const std::string& key) {
+  std::lock_guard lock(mutex_);
+  map_.erase(key);
+}
+
+StoreStats StrongStore::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace vcdl

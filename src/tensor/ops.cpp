@@ -1,0 +1,192 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/thread_pool.hpp"
+
+namespace vcdl::ops {
+namespace {
+
+void check_same_size(std::span<const float> a, std::span<const float> b,
+                     const char* what) {
+  VCDL_CHECK(a.size() == b.size(), std::string(what) + ": size mismatch");
+}
+
+// Row-block GEMM kernel: computes C rows [r0, r1).
+// A is MxK, B is KxN, both row-major.
+void gemm_rows(const float* a, const float* b, float* c, std::size_t r0,
+               std::size_t r1, std::size_t k_dim, std::size_t n_dim) {
+  constexpr std::size_t kBlockK = 64;
+  for (std::size_t i = r0; i < r1; ++i) {
+    float* c_row = c + i * n_dim;
+    for (std::size_t kb = 0; kb < k_dim; kb += kBlockK) {
+      const std::size_t k_end = std::min(k_dim, kb + kBlockK);
+      for (std::size_t k = kb; k < k_end; ++k) {
+        const float a_ik = a[i * k_dim + k];
+        if (a_ik == 0.0f) continue;  // ReLU activations are often sparse
+        const float* b_row = b + k * n_dim;
+        for (std::size_t j = 0; j < n_dim; ++j) {
+          c_row[j] += a_ik * b_row[j];
+        }
+      }
+    }
+  }
+}
+
+void run_rowwise(std::size_t m, ThreadPool* pool,
+                 const std::function<void(std::size_t, std::size_t)>& body) {
+  // Parallelism only pays off for reasonably tall outputs.
+  if (pool != nullptr && pool->size() > 1 && m >= 4 * pool->size()) {
+    pool->parallel_for(0, m, body);
+  } else {
+    body(0, m);
+  }
+}
+
+}  // namespace
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  check_same_size(x, y, "axpy");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(std::span<float> x, float alpha) {
+  for (auto& v : x) v *= alpha;
+}
+
+void add(std::span<const float> a, std::span<const float> b, std::span<float> out) {
+  check_same_size(a, b, "add");
+  check_same_size(a, out, "add");
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+}
+
+void sub(std::span<const float> a, std::span<const float> b, std::span<float> out) {
+  check_same_size(a, b, "sub");
+  check_same_size(a, out, "sub");
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+}
+
+void mul(std::span<const float> a, std::span<const float> b, std::span<float> out) {
+  check_same_size(a, b, "mul");
+  check_same_size(a, out, "mul");
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+}
+
+void blend(float alpha, std::span<const float> y_prev, std::span<const float> x,
+           std::span<float> y) {
+  check_same_size(y_prev, x, "blend");
+  check_same_size(y_prev, y, "blend");
+  const float beta = 1.0f - alpha;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y[i] = alpha * y_prev[i] + beta * x[i];
+  }
+}
+
+float sum(std::span<const float> x) {
+  double acc = 0.0;
+  for (const float v : x) acc += v;
+  return static_cast<float>(acc);
+}
+
+float dot(std::span<const float> a, std::span<const float> b) {
+  check_same_size(a, b, "dot");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(a[i]) * b[i];
+  }
+  return static_cast<float>(acc);
+}
+
+float norm2(std::span<const float> x) {
+  double acc = 0.0;
+  for (const float v : x) acc += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+float max_abs_diff(std::span<const float> a, std::span<const float> b) {
+  check_same_size(a, b, "max_abs_diff");
+  float m = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a[i] - b[i]));
+  }
+  return m;
+}
+
+std::size_t argmax(std::span<const float> x) {
+  VCDL_CHECK(!x.empty(), "argmax of empty span");
+  return static_cast<std::size_t>(
+      std::max_element(x.begin(), x.end()) - x.begin());
+}
+
+void matmul(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate,
+            ThreadPool* pool) {
+  VCDL_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2,
+             "matmul expects rank-2 tensors");
+  const std::size_t m = a.shape()[0], k = a.shape()[1];
+  VCDL_CHECK(b.shape()[0] == k, "matmul: inner dimension mismatch");
+  const std::size_t n = b.shape()[1];
+  if (!(c.shape() == Shape{m, n})) c = Tensor(Shape{m, n});
+  if (!accumulate) c.fill(0.0f);
+  run_rowwise(m, pool, [&](std::size_t r0, std::size_t r1) {
+    gemm_rows(a.data(), b.data(), c.data(), r0, r1, k, n);
+  });
+}
+
+void matmul_at_b(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate,
+                 ThreadPool* pool) {
+  // a is stored K x M; logical op is (M x K) * (K x N).
+  VCDL_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2,
+             "matmul_at_b expects rank-2 tensors");
+  const std::size_t k = a.shape()[0], m = a.shape()[1];
+  VCDL_CHECK(b.shape()[0] == k, "matmul_at_b: inner dimension mismatch");
+  const std::size_t n = b.shape()[1];
+  if (!(c.shape() == Shape{m, n})) c = Tensor(Shape{m, n});
+  if (!accumulate) c.fill(0.0f);
+  const float* ap = a.data();
+  const float* bp = b.data();
+  float* cp = c.data();
+  run_rowwise(m, pool, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float* a_row = ap + kk * m;
+      const float* b_row = bp + kk * n;
+      for (std::size_t i = r0; i < r1; ++i) {
+        const float a_ki = a_row[i];
+        if (a_ki == 0.0f) continue;
+        float* c_row = cp + i * n;
+        for (std::size_t j = 0; j < n; ++j) c_row[j] += a_ki * b_row[j];
+      }
+    }
+  });
+}
+
+void matmul_a_bt(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate,
+                 ThreadPool* pool) {
+  // b is stored N x K; logical op is (M x K) * (K x N).
+  VCDL_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2,
+             "matmul_a_bt expects rank-2 tensors");
+  const std::size_t m = a.shape()[0], k = a.shape()[1];
+  VCDL_CHECK(b.shape()[1] == k, "matmul_a_bt: inner dimension mismatch");
+  const std::size_t n = b.shape()[0];
+  if (!(c.shape() == Shape{m, n})) c = Tensor(Shape{m, n});
+  if (!accumulate) c.fill(0.0f);
+  const float* ap = a.data();
+  const float* bp = b.data();
+  float* cp = c.data();
+  run_rowwise(m, pool, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      const float* a_row = ap + i * k;
+      float* c_row = cp + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        const float* b_row = bp + j * k;
+        double acc = 0.0;
+        for (std::size_t kk = 0; kk < k; ++kk) {
+          acc += static_cast<double>(a_row[kk]) * b_row[kk];
+        }
+        c_row[j] += static_cast<float>(acc);
+      }
+    }
+  });
+}
+
+}  // namespace vcdl::ops

@@ -1,0 +1,63 @@
+// Tensor kernels: elementwise operations, reductions, and blocked GEMM.
+//
+// GEMM is the dominant cost of training; the implementation uses cache
+// blocking with a transposed-B micro-panel and can parallelize over row
+// blocks via the shared ThreadPool. Everything else is straightforward
+// span-based loops — on the problem sizes VCDL trains, they are memory-bound
+// anyway.
+#pragma once
+
+#include <span>
+
+#include "tensor/tensor.hpp"
+
+namespace vcdl {
+
+class ThreadPool;
+
+namespace ops {
+
+// --- elementwise on flat spans (sizes must match) -------------------------
+
+/// y += alpha * x
+void axpy(float alpha, std::span<const float> x, std::span<float> y);
+/// x *= alpha
+void scale(std::span<float> x, float alpha);
+/// out = a + b
+void add(std::span<const float> a, std::span<const float> b, std::span<float> out);
+/// out = a - b
+void sub(std::span<const float> a, std::span<const float> b, std::span<float> out);
+/// out = a * b (Hadamard)
+void mul(std::span<const float> a, std::span<const float> b, std::span<float> out);
+/// y = alpha * x + (1 - alpha) * y   — the VC-ASGD Eq. (1) blend primitive.
+void blend(float alpha, std::span<const float> y_prev, std::span<const float> x,
+           std::span<float> y);
+
+// --- reductions ------------------------------------------------------------
+
+float sum(std::span<const float> x);
+float dot(std::span<const float> a, std::span<const float> b);
+/// Euclidean norm.
+float norm2(std::span<const float> x);
+/// max_i |a_i - b_i|
+float max_abs_diff(std::span<const float> a, std::span<const float> b);
+/// Index of the maximum element (first on ties). Requires non-empty x.
+std::size_t argmax(std::span<const float> x);
+
+// --- GEMM ------------------------------------------------------------------
+
+/// C = A(MxK) * B(KxN); accumulate adds into C instead of overwriting.
+/// When pool != nullptr the row dimension is split across workers.
+void matmul(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate = false,
+            ThreadPool* pool = nullptr);
+
+/// C = A^T(K x M -> M x K seen transposed) * B. a is stored KxM.
+void matmul_at_b(const Tensor& a, const Tensor& b, Tensor& c,
+                 bool accumulate = false, ThreadPool* pool = nullptr);
+
+/// C = A * B^T. b is stored NxK.
+void matmul_a_bt(const Tensor& a, const Tensor& b, Tensor& c,
+                 bool accumulate = false, ThreadPool* pool = nullptr);
+
+}  // namespace ops
+}  // namespace vcdl

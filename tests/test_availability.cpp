@@ -1,0 +1,103 @@
+#include "sim/availability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/trainer.hpp"
+#include "grid/client.hpp"
+
+namespace vcdl {
+namespace {
+
+TEST(Availability, DisabledByDefault) {
+  AvailabilityModel m;
+  EXPECT_FALSE(m.enabled());
+  EXPECT_DOUBLE_EQ(m.duty_cycle(), 1.0);
+}
+
+TEST(Availability, DutyCycleFromMeans) {
+  AvailabilityModel m{.mean_up_s = 3000.0, .mean_down_s = 1000.0};
+  EXPECT_DOUBLE_EQ(m.duty_cycle(), 0.75);
+  EXPECT_NEAR(AvailabilityModel::home_desktop().duty_cycle(), 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(AvailabilityModel::laptop().duty_cycle(), 1.0 / 3.0, 1e-9);
+}
+
+TEST(Availability, SampleMeansMatch) {
+  const AvailabilityModel m{.mean_up_s = 600.0, .mean_down_s = 300.0};
+  Rng rng(5);
+  double up = 0, down = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    up += m.sample_up(rng);
+    down += m.sample_down(rng);
+  }
+  EXPECT_NEAR(up / n, 600.0, 15.0);
+  EXPECT_NEAR(down / n, 300.0, 8.0);
+}
+
+TEST(Availability, DisabledModelRefusesSampling) {
+  AvailabilityModel m;
+  Rng rng(1);
+  EXPECT_THROW(m.sample_up(rng), Error);
+}
+
+TEST(Availability, VolunteerFleetStillCompletesTraining) {
+  ExperimentSpec spec;
+  spec.parameter_servers = 2;
+  spec.clients = 3;
+  spec.tasks_per_client = 2;
+  spec.num_shards = 8;
+  spec.max_epochs = 2;
+  spec.local_epochs = 1;
+  spec.validation_subsample = 32;
+  spec.data.height = 8;
+  spec.data.width = 8;
+  spec.data.train = 160;
+  spec.data.validation = 60;
+  spec.data.test = 60;
+  spec.model.height = 8;
+  spec.model.width = 8;
+  spec.model.base_filters = 4;
+  spec.model.blocks = 1;
+  // Aggressive churn: ~5 min sessions, ~2 min gaps.
+  spec.availability = AvailabilityModel{.mean_up_s = 300.0, .mean_down_s = 120.0};
+  spec.subtask_timeout_s = 240.0;
+  spec.trace = true;
+  VcTrainer trainer(spec);
+  const TrainResult result = trainer.run();
+  ASSERT_EQ(result.epochs.size(), 2u);
+  for (const auto& e : result.epochs) EXPECT_EQ(e.results, 8u);
+  // Churn actually happened.
+  EXPECT_GT(trainer.trace().count(TraceKind::preempted), 0u);
+}
+
+TEST(Availability, ChurnCostsTimeVsAlwaysOn) {
+  auto run_with = [](AvailabilityModel availability) {
+    ExperimentSpec spec;
+    spec.parameter_servers = 2;
+    spec.clients = 2;
+    spec.tasks_per_client = 2;
+    spec.num_shards = 8;
+    spec.max_epochs = 2;
+    spec.local_epochs = 1;
+    spec.validation_subsample = 16;
+    spec.data.height = 8;
+    spec.data.width = 8;
+    spec.data.train = 120;
+    spec.data.validation = 40;
+    spec.data.test = 40;
+    spec.model.height = 8;
+    spec.model.width = 8;
+    spec.model.base_filters = 4;
+    spec.model.blocks = 1;
+    spec.availability = availability;
+    spec.subtask_timeout_s = 240.0;
+    return run_experiment(spec).totals.duration_s;
+  };
+  const SimTime steady = run_with(AvailabilityModel::always_on());
+  const SimTime churned =
+      run_with(AvailabilityModel{.mean_up_s = 240.0, .mean_down_s = 240.0});
+  EXPECT_GT(churned, steady);
+}
+
+}  // namespace
+}  // namespace vcdl

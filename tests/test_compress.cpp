@@ -1,0 +1,107 @@
+#include "common/compress.hpp"
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace vcdl {
+namespace {
+
+Blob make_bytes(std::size_t n, const std::function<std::uint8_t(std::size_t)>& gen) {
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = gen(i);
+  return Blob(std::move(v));
+}
+
+TEST(Compress, EmptyRoundTrip) {
+  const Blob in;
+  const Blob packed = compress(in);
+  EXPECT_EQ(decompress(packed), in);
+}
+
+TEST(Compress, SingleByteRoundTrip) {
+  const Blob in(std::vector<std::uint8_t>{42});
+  EXPECT_EQ(decompress(compress(in)), in);
+}
+
+TEST(Compress, RunsCompressWell) {
+  const Blob in = make_bytes(10000, [](std::size_t) { return 7; });
+  const Blob packed = compress(in);
+  EXPECT_LT(packed.size(), in.size() / 20);
+  EXPECT_EQ(decompress(packed), in);
+}
+
+TEST(Compress, PeriodicPatternCompresses) {
+  const Blob in = make_bytes(8192, [](std::size_t i) {
+    return static_cast<std::uint8_t>(i % 16);
+  });
+  const Blob packed = compress(in);
+  EXPECT_LT(packed.size(), in.size() / 4);
+  EXPECT_EQ(decompress(packed), in);
+}
+
+TEST(Compress, RandomDataRoundTripsWithBoundedExpansion) {
+  Rng rng(3);
+  const Blob in = make_bytes(5000, [&](std::size_t) {
+    return static_cast<std::uint8_t>(rng.uniform_index(256));
+  });
+  const Blob packed = compress(in);
+  // Incompressible input: literal-run framing costs ~1 byte per 128.
+  EXPECT_LT(packed.size(), in.size() + in.size() / 32 + 64);
+  EXPECT_EQ(decompress(packed), in);
+}
+
+TEST(Compress, BadMagicThrows) {
+  Blob junk(std::vector<std::uint8_t>{'X', 'Y', 'Z', 'W', 0});
+  EXPECT_THROW(decompress(junk), CorruptData);
+}
+
+TEST(Compress, TruncatedStreamThrows) {
+  const Blob in = make_bytes(1000, [](std::size_t i) {
+    return static_cast<std::uint8_t>(i);
+  });
+  const Blob packed = compress(in);
+  std::vector<std::uint8_t> cut(packed.view().begin(),
+                                packed.view().end() - packed.size() / 2);
+  EXPECT_THROW(decompress(Blob(std::move(cut))), CorruptData);
+}
+
+TEST(Compress, SizeHelperMatches) {
+  const Blob in = make_bytes(2048, [](std::size_t i) {
+    return static_cast<std::uint8_t>(i / 100);
+  });
+  EXPECT_EQ(compressed_size(in.view()), compress(in).size());
+}
+
+// Property sweep: round-trip across sizes × content classes.
+class CompressSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(CompressSweep, RoundTrip) {
+  const auto [size, kind] = GetParam();
+  Rng rng(size * 31 + static_cast<std::size_t>(kind));
+  const Blob in = make_bytes(size, [&](std::size_t i) -> std::uint8_t {
+    switch (kind) {
+      case 0: return 0;                                              // zeros
+      case 1: return static_cast<std::uint8_t>(i % 7);               // periodic
+      case 2: return static_cast<std::uint8_t>(rng.uniform_index(4)); // low entropy
+      default: return static_cast<std::uint8_t>(rng.uniform_index(256));
+    }
+  });
+  const Blob packed = compress(in);
+  const Blob out = decompress(packed);
+  ASSERT_EQ(out.size(), in.size());
+  EXPECT_EQ(out, in);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndKinds, CompressSweep,
+    ::testing::Combine(::testing::Values(std::size_t{0}, std::size_t{1},
+                                         std::size_t{3}, std::size_t{128},
+                                         std::size_t{4096}, std::size_t{70000}),
+                       ::testing::Values(0, 1, 2, 3)));
+
+}  // namespace
+}  // namespace vcdl

@@ -1,0 +1,84 @@
+#include "common/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace vcdl {
+namespace {
+
+TEST(Config, FromArgsParsesKeyValues) {
+  const char* argv[] = {"prog", "alpha=0.95", "clients=5", "store=redis"};
+  const Config cfg = Config::from_args(4, argv);
+  EXPECT_DOUBLE_EQ(cfg.get_double("alpha", 0.0), 0.95);
+  EXPECT_EQ(cfg.get_int("clients", 0), 5);
+  EXPECT_EQ(cfg.get_string("store", ""), "redis");
+}
+
+TEST(Config, FromArgsRejectsBareToken) {
+  const char* argv[] = {"prog", "nonsense"};
+  EXPECT_THROW(Config::from_args(2, argv), InvalidArgument);
+}
+
+TEST(Config, FromStringWithCommentsAndNewlines) {
+  const Config cfg = Config::from_string(
+      "a=1 b=2\n# full line comment\nc=3 # trailing comment d=4\n");
+  EXPECT_EQ(cfg.get_int("a", 0), 1);
+  EXPECT_EQ(cfg.get_int("b", 0), 2);
+  EXPECT_EQ(cfg.get_int("c", 0), 3);
+  EXPECT_FALSE(cfg.has("d"));
+}
+
+TEST(Config, FallbacksForMissingKeys) {
+  const Config cfg;
+  EXPECT_EQ(cfg.get_string("x", "def"), "def");
+  EXPECT_EQ(cfg.get_int("x", 42), 42);
+  EXPECT_DOUBLE_EQ(cfg.get_double("x", 2.5), 2.5);
+  EXPECT_TRUE(cfg.get_bool("x", true));
+}
+
+TEST(Config, BoolVariants) {
+  const Config cfg = Config::from_string(
+      "a=true b=FALSE c=1 d=0 e=Yes f=no g=on h=off");
+  EXPECT_TRUE(cfg.get_bool("a", false));
+  EXPECT_FALSE(cfg.get_bool("b", true));
+  EXPECT_TRUE(cfg.get_bool("c", false));
+  EXPECT_FALSE(cfg.get_bool("d", true));
+  EXPECT_TRUE(cfg.get_bool("e", false));
+  EXPECT_FALSE(cfg.get_bool("f", true));
+  EXPECT_TRUE(cfg.get_bool("g", false));
+  EXPECT_FALSE(cfg.get_bool("h", true));
+}
+
+TEST(Config, TypeErrorsThrow) {
+  const Config cfg = Config::from_string("n=abc f=1.2.3 b=maybe");
+  EXPECT_THROW(cfg.get_int("n", 0), InvalidArgument);
+  EXPECT_THROW(cfg.get_double("f", 0.0), InvalidArgument);
+  EXPECT_THROW(cfg.get_bool("b", false), InvalidArgument);
+}
+
+TEST(Config, IntWithTrailingGarbageThrows) {
+  const Config cfg = Config::from_string("n=12x");
+  EXPECT_THROW(cfg.get_int("n", 0), InvalidArgument);
+}
+
+TEST(Config, LaterValueWins) {
+  const Config cfg = Config::from_string("k=1 k=2");
+  EXPECT_EQ(cfg.get_int("k", 0), 2);
+}
+
+TEST(Config, ValueMayContainEquals) {
+  const Config cfg = Config::from_string("expr=a=b");
+  EXPECT_EQ(cfg.get_string("expr", ""), "a=b");
+}
+
+TEST(Config, KeysSorted) {
+  const Config cfg = Config::from_string("z=1 a=2 m=3");
+  const auto keys = cfg.keys();
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[0], "a");
+  EXPECT_EQ(keys[2], "z");
+}
+
+}  // namespace
+}  // namespace vcdl

@@ -1,0 +1,188 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "data/shards.hpp"
+#include "data/synthetic.hpp"
+
+namespace vcdl {
+namespace {
+
+SyntheticSpec tiny_spec() {
+  SyntheticSpec s;
+  s.height = 8;
+  s.width = 8;
+  s.train = 200;
+  s.validation = 50;
+  s.test = 50;
+  return s;
+}
+
+TEST(Dataset, AddAndAccess) {
+  Dataset ds(1, 2, 2, 3);
+  const std::uint8_t img[] = {10, 20, 30, 40};
+  ds.add(img, 2);
+  EXPECT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds.label(0), 2);
+  EXPECT_EQ(ds.image(0)[3], 40);
+}
+
+TEST(Dataset, AddValidates) {
+  Dataset ds(1, 2, 2, 3);
+  const std::uint8_t short_img[] = {1, 2};
+  EXPECT_THROW(ds.add(short_img, 0), Error);
+  const std::uint8_t img[] = {1, 2, 3, 4};
+  EXPECT_THROW(ds.add(img, 3), Error);  // label out of range
+}
+
+TEST(Dataset, BatchTensorScalesToMinusOneOne) {
+  Dataset ds(1, 1, 2, 2);
+  const std::uint8_t img[] = {0, 255};
+  ds.add(img, 0);
+  const Tensor t = ds.batch_tensor(0, 1);
+  EXPECT_FLOAT_EQ(t[0], -1.0f);
+  EXPECT_FLOAT_EQ(t[1], 1.0f);
+}
+
+TEST(Dataset, SubsetAndGather) {
+  Dataset ds(1, 1, 1, 5);
+  for (std::uint8_t i = 0; i < 5; ++i) {
+    const std::uint8_t img[] = {static_cast<std::uint8_t>(i * 50)};
+    ds.add(img, i);
+  }
+  const std::vector<std::size_t> idx = {4, 0, 2};
+  const Dataset sub = ds.subset(idx);
+  EXPECT_EQ(sub.size(), 3u);
+  EXPECT_EQ(sub.label(0), 4);
+  EXPECT_EQ(sub.label(2), 2);
+  const Tensor g = ds.gather_tensor(idx);
+  EXPECT_TRUE(g.shape() == (Shape{3, 1, 1, 1}));
+}
+
+TEST(Dataset, EncodeDecodeRoundTrip) {
+  const SyntheticData data = make_synthetic_cifar(tiny_spec());
+  const Blob blob = data.train.encode();
+  const Dataset decoded = Dataset::decode(blob);
+  EXPECT_EQ(decoded.size(), data.train.size());
+  EXPECT_EQ(decoded.classes(), data.train.classes());
+  for (std::size_t i = 0; i < decoded.size(); ++i) {
+    ASSERT_EQ(decoded.label(i), data.train.label(i));
+  }
+  const auto a = decoded.image(7);
+  const auto b = data.train.image(7);
+  EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+}
+
+TEST(Dataset, DecodeRejectsGarbage) {
+  Blob junk(std::vector<std::uint8_t>{9, 9, 9, 9, 9});
+  EXPECT_THROW(Dataset::decode(junk), CorruptData);
+}
+
+TEST(Synthetic, DeterministicForSeed) {
+  const SyntheticData a = make_synthetic_cifar(tiny_spec());
+  const SyntheticData b = make_synthetic_cifar(tiny_spec());
+  EXPECT_EQ(a.train.encode(), b.train.encode());
+  SyntheticSpec other = tiny_spec();
+  other.seed = 999;
+  const SyntheticData c = make_synthetic_cifar(other);
+  EXPECT_FALSE(a.train.encode() == c.train.encode());
+}
+
+TEST(Synthetic, SplitSizes) {
+  const SyntheticData data = make_synthetic_cifar(tiny_spec());
+  EXPECT_EQ(data.train.size(), 200u);
+  EXPECT_EQ(data.validation.size(), 50u);
+  EXPECT_EQ(data.test.size(), 50u);
+}
+
+TEST(Synthetic, ClassesAreBalanced) {
+  const SyntheticData data = make_synthetic_cifar(tiny_spec());
+  const auto hist = label_histogram(data.train);
+  ASSERT_EQ(hist.size(), 10u);
+  for (const auto count : hist) EXPECT_EQ(count, 20u);
+}
+
+TEST(Synthetic, DifficultyZeroIsCleanest) {
+  SyntheticSpec clean = tiny_spec();
+  clean.difficulty = 0.0;
+  const SyntheticData a = make_synthetic_cifar(clean);
+  SyntheticSpec noisy = tiny_spec();
+  noisy.difficulty = 1.0;
+  const SyntheticData b = make_synthetic_cifar(noisy);
+  // Proxy for noise: mean absolute difference between two same-class images.
+  auto pair_noise = [](const Dataset& ds) {
+    // Find two images of class 0.
+    std::vector<std::size_t> idx;
+    for (std::size_t i = 0; i < ds.size() && idx.size() < 2; ++i) {
+      if (ds.label(i) == 0) idx.push_back(i);
+    }
+    const auto x = ds.image(idx[0]);
+    const auto y = ds.image(idx[1]);
+    double diff = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      diff += std::abs(static_cast<int>(x[i]) - static_cast<int>(y[i]));
+    }
+    return diff / static_cast<double>(x.size());
+  };
+  EXPECT_LT(pair_noise(a.train), pair_noise(b.train));
+}
+
+TEST(Shards, IidSplitSizesAndCoverage) {
+  const SyntheticData data = make_synthetic_cifar(tiny_spec());
+  const ShardSet shards = make_shards(data.train, 7, ShardPolicy::iid, 1);
+  EXPECT_EQ(shards.count(), 7u);
+  EXPECT_EQ(shards.total_samples(), data.train.size());
+  // Near-equal sizes.
+  for (const auto& s : shards.shards) {
+    EXPECT_GE(s.size(), data.train.size() / 7);
+    EXPECT_LE(s.size(), data.train.size() / 7 + 1);
+  }
+}
+
+TEST(Shards, IidShardsSeeManyClasses) {
+  const SyntheticData data = make_synthetic_cifar(tiny_spec());
+  const ShardSet shards = make_shards(data.train, 5, ShardPolicy::iid, 2);
+  for (const auto& s : shards.shards) {
+    const auto hist = label_histogram(s);
+    const auto nonzero = std::count_if(hist.begin(), hist.end(),
+                                       [](std::size_t c) { return c > 0; });
+    EXPECT_GE(nonzero, 7);  // 40 samples over 10 classes: nearly all present
+  }
+}
+
+TEST(Shards, LabelSkewConcentratesClasses) {
+  const SyntheticData data = make_synthetic_cifar(tiny_spec());
+  const ShardSet shards = make_shards(data.train, 10, ShardPolicy::label_skew, 3);
+  for (const auto& s : shards.shards) {
+    const auto hist = label_histogram(s);
+    const auto nonzero = std::count_if(hist.begin(), hist.end(),
+                                       [](std::size_t c) { return c > 0; });
+    EXPECT_LE(nonzero, 2);  // contiguous label chunks
+  }
+}
+
+TEST(Shards, DeterministicInSeed) {
+  const SyntheticData data = make_synthetic_cifar(tiny_spec());
+  const ShardSet a = make_shards(data.train, 4, ShardPolicy::iid, 5);
+  const ShardSet b = make_shards(data.train, 4, ShardPolicy::iid, 5);
+  EXPECT_EQ(a.shards[0].encode(), b.shards[0].encode());
+  const ShardSet c = make_shards(data.train, 4, ShardPolicy::iid, 6);
+  EXPECT_FALSE(a.shards[0].encode() == c.shards[0].encode());
+}
+
+TEST(Shards, RejectsBadArguments) {
+  const SyntheticData data = make_synthetic_cifar(tiny_spec());
+  EXPECT_THROW(make_shards(data.train, 0, ShardPolicy::iid, 1), Error);
+  EXPECT_THROW(make_shards(data.train, 10000, ShardPolicy::iid, 1), Error);
+}
+
+TEST(Shards, PolicyNames) {
+  EXPECT_STREQ(shard_policy_name(ShardPolicy::iid), "iid");
+  EXPECT_STREQ(shard_policy_name(ShardPolicy::label_skew), "label_skew");
+}
+
+}  // namespace
+}  // namespace vcdl

@@ -1,0 +1,182 @@
+// Randomized property tests: thousands of random operation sequences against
+// the scheduler, the event engine and the wire codec, checking invariants
+// rather than specific outputs.
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/compress.hpp"
+#include "common/rng.hpp"
+#include "grid/scheduler.hpp"
+#include "sim/engine.hpp"
+
+namespace vcdl {
+namespace {
+
+class FuzzSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSeeds, SchedulerInvariantsHoldUnderRandomOps) {
+  Rng rng(GetParam());
+  Scheduler s;
+  constexpr std::size_t kClients = 4;
+  for (ClientId c = 0; c < kClients; ++c) s.register_client(c);
+
+  SimTime now = 0.0;
+  WorkunitId next_id = 1;
+  std::size_t generated = 0;
+  std::set<WorkunitId> done;
+  // unit -> clients currently holding an assignment of it.
+  std::map<WorkunitId, std::set<ClientId>> holding;
+
+  for (int op = 0; op < 3000; ++op) {
+    now += rng.uniform(0.0, 5.0);
+    const auto action = rng.uniform_index(5);
+    switch (action) {
+      case 0: {  // add a unit
+        Workunit wu;
+        wu.id = next_id++;
+        wu.shard = rng.uniform_index(8);
+        wu.deadline_s = rng.uniform(10.0, 120.0);
+        wu.replication = 1 + rng.uniform_index(2);
+        wu.inputs = {FileRef{"shard/" + std::to_string(wu.shard), true}};
+        s.add_unit(wu);
+        ++generated;
+        break;
+      }
+      case 1:
+      case 2: {  // a client asks for work
+        const ClientId c = rng.uniform_index(kClients);
+        const auto units = s.request_work(c, 1 + rng.uniform_index(3), now);
+        for (const auto& wu : units) {
+          // Never handed a unit it already holds, never a retired unit.
+          ASSERT_EQ(holding[wu.id].count(c), 0u);
+          ASSERT_EQ(done.count(wu.id), 0u);
+          holding[wu.id].insert(c);
+        }
+        break;
+      }
+      case 3: {  // a random holder reports a result
+        std::vector<std::pair<WorkunitId, ClientId>> candidates;
+        for (const auto& [unit, holders] : holding) {
+          for (const ClientId c : holders) candidates.emplace_back(unit, c);
+        }
+        if (candidates.empty()) break;
+        const auto [unit, client] =
+            candidates[rng.uniform_index(candidates.size())];
+        const bool first = s.report_result(client, unit, now);
+        ASSERT_EQ(first, done.count(unit) == 0) << "unit " << unit;
+        done.insert(unit);
+        holding[unit].erase(client);
+        break;
+      }
+      case 4: {  // deadlines fire
+        for (const auto id : s.expire_deadlines(now)) {
+          // Expired units must not already be done.
+          ASSERT_EQ(done.count(id), 0u);
+        }
+        // Our local `holding` map can now be stale (the scheduler dropped
+        // the assignment); rebuild lazily by clearing holders for expired
+        // units is not possible without the client id, so just clear all —
+        // re-assignments are still checked against `done`.
+        for (auto& [unit, holders] : holding) {
+          if (done.count(unit) == 0) holders.clear();
+        }
+        break;
+      }
+    }
+    // Global invariants.
+    ASSERT_EQ(s.all_done(), done.size() == generated);
+    ASSERT_EQ(s.stats().generated, generated);
+    ASSERT_EQ(s.stats().results, done.size());
+  }
+  // Drain: clients request everything and report it; the job must finish.
+  for (int round = 0; round < 2000 && !s.all_done(); ++round) {
+    now += 10.0;
+    (void)s.expire_deadlines(now);
+    for (ClientId c = 0; c < kClients; ++c) {
+      for (const auto& wu : s.request_work(c, 4, now)) {
+        s.report_result(c, wu.id, now);
+        done.insert(wu.id);
+      }
+    }
+  }
+  EXPECT_TRUE(s.all_done());
+  EXPECT_EQ(done.size(), generated);
+}
+
+TEST_P(FuzzSeeds, EngineAccountingUnderRandomScheduleAndCancel) {
+  Rng rng(GetParam());
+  SimEngine engine;
+  std::size_t fired = 0;
+  std::vector<EventId> cancellable;
+  std::size_t scheduled = 0, cancelled = 0;
+
+  for (int op = 0; op < 2000; ++op) {
+    if (rng.bernoulli(0.7) || cancellable.empty()) {
+      cancellable.push_back(
+          engine.schedule(rng.uniform(0.0, 100.0), [&fired] { ++fired; }));
+      ++scheduled;
+    } else {
+      const auto idx = rng.uniform_index(cancellable.size());
+      if (engine.cancel(cancellable[idx])) ++cancelled;
+      cancellable.erase(cancellable.begin() +
+                        static_cast<std::ptrdiff_t>(idx));
+    }
+    if (rng.bernoulli(0.1)) engine.step();  // interleave execution
+  }
+  engine.run();
+  EXPECT_EQ(fired + cancelled, scheduled);
+  EXPECT_EQ(engine.pending(), 0u);
+}
+
+TEST_P(FuzzSeeds, CodecRoundTripsArbitraryBlobs) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t size = rng.uniform_index(20000);
+    std::vector<std::uint8_t> bytes(size);
+    // Mixed content: runs, ramps and noise segments.
+    std::size_t i = 0;
+    while (i < size) {
+      const std::size_t seg = std::min<std::size_t>(
+          size - i, 1 + rng.uniform_index(512));
+      const auto mode = rng.uniform_index(3);
+      const auto base = static_cast<std::uint8_t>(rng.uniform_index(256));
+      for (std::size_t j = 0; j < seg; ++j, ++i) {
+        switch (mode) {
+          case 0: bytes[i] = base; break;
+          case 1: bytes[i] = static_cast<std::uint8_t>(base + j); break;
+          default: bytes[i] = static_cast<std::uint8_t>(rng.uniform_index(256));
+        }
+      }
+    }
+    const Blob in(std::move(bytes));
+    const Blob out = decompress(compress(in));
+    ASSERT_EQ(out, in) << "trial " << trial << " size " << size;
+  }
+}
+
+TEST_P(FuzzSeeds, DecompressNeverCrashesOnGarbage) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> junk(rng.uniform_index(600));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.uniform_index(256));
+    // Half the trials start with the right magic to reach deeper code paths.
+    if (junk.size() >= 4 && rng.bernoulli(0.5)) {
+      junk[0] = 'V'; junk[1] = 'C'; junk[2] = 'Z'; junk[3] = '1';
+    }
+    try {
+      const Blob out = decompress(Blob(std::move(junk)));
+      (void)out;  // accidentally valid stream: fine
+    } catch (const CorruptData&) {
+      // expected for malformed input
+    }
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds,
+                         ::testing::Values(1u, 7u, 42u, 99u, 12345u));
+
+}  // namespace
+}  // namespace vcdl

@@ -1,0 +1,383 @@
+#include <gtest/gtest.h>
+
+#include "grid/client.hpp"
+#include "grid/file_server.hpp"
+#include "grid/scheduler.hpp"
+#include "grid/server.hpp"
+
+namespace vcdl {
+namespace {
+
+Blob payload_of(std::size_t n) {
+  return Blob(std::vector<std::uint8_t>(n, 0xAB));
+}
+
+// --- FileServer --------------------------------------------------------------
+
+TEST(FileServer, PublishFetchVersion) {
+  FileServer fs;
+  fs.publish("a", payload_of(100), false);
+  EXPECT_TRUE(fs.has("a"));
+  EXPECT_EQ(fs.version("a"), 1u);
+  EXPECT_EQ(fs.raw_size("a"), 100u);
+  EXPECT_EQ(fs.wire_size("a"), 100u);
+  fs.publish("a", payload_of(50), false);
+  EXPECT_EQ(fs.version("a"), 2u);
+  EXPECT_EQ(fs.raw_size("a"), 50u);
+}
+
+TEST(FileServer, CompressedWireSizeSmallerForRuns) {
+  FileServer fs;
+  fs.publish("runs", payload_of(10000), /*compress=*/true);
+  EXPECT_LT(fs.wire_size("runs"), 1000u);
+  EXPECT_EQ(fs.raw_size("runs"), 10000u);
+  // Payload fetch returns the uncompressed bytes.
+  EXPECT_EQ(fs.fetch("runs").size(), 10000u);
+}
+
+TEST(FileServer, MissingFileThrows) {
+  FileServer fs;
+  EXPECT_THROW(fs.fetch("nope"), NotFound);
+  EXPECT_THROW(fs.version("nope"), NotFound);
+}
+
+TEST(FileServer, StatsAccumulate) {
+  FileServer fs;
+  fs.publish("f", payload_of(1000), true);
+  (void)fs.fetch("f");
+  (void)fs.fetch("f");
+  fs.record_cache_hit();
+  const auto& s = fs.stats();
+  EXPECT_EQ(s.publishes, 1u);
+  EXPECT_EQ(s.fetches, 2u);
+  EXPECT_EQ(s.bytes_raw, 2000u);
+  EXPECT_LT(s.bytes_wire, s.bytes_raw);
+  EXPECT_EQ(s.cache_hits, 1u);
+}
+
+// --- Scheduler ---------------------------------------------------------------
+
+Workunit make_unit(WorkunitId id, std::size_t shard = 0,
+                   SimTime deadline = 100.0, std::size_t replication = 1) {
+  Workunit wu;
+  wu.id = id;
+  wu.epoch = 1;
+  wu.shard = shard;
+  wu.deadline_s = deadline;
+  wu.replication = replication;
+  wu.inputs = {FileRef{"shard/" + std::to_string(shard), true}};
+  return wu;
+}
+
+TEST(Scheduler, AssignsUpToRequested) {
+  Scheduler s;
+  s.register_client(0);
+  for (WorkunitId id = 1; id <= 5; ++id) s.add_unit(make_unit(id));
+  const auto got = s.request_work(0, 3, 0.0);
+  EXPECT_EQ(got.size(), 3u);
+  EXPECT_EQ(s.ready_count(), 2u);
+  EXPECT_EQ(s.inflight_count(), 3u);
+}
+
+TEST(Scheduler, UnregisteredClientThrows) {
+  Scheduler s;
+  EXPECT_THROW(s.request_work(9, 1, 0.0), Error);
+}
+
+TEST(Scheduler, DuplicateUnitIdThrows) {
+  Scheduler s;
+  s.add_unit(make_unit(1));
+  EXPECT_THROW(s.add_unit(make_unit(1)), Error);
+}
+
+TEST(Scheduler, FirstResultWinsDuplicatesFlagged) {
+  Scheduler s;
+  s.register_client(0);
+  s.register_client(1);
+  s.add_unit(make_unit(1, 0, 100.0, /*replication=*/2));
+  const auto a = s.request_work(0, 1, 0.0);
+  const auto b = s.request_work(1, 1, 0.0);
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_TRUE(s.report_result(0, 1, 10.0));
+  EXPECT_FALSE(s.report_result(1, 1, 11.0));
+  EXPECT_TRUE(s.all_done());
+  EXPECT_EQ(s.stats().duplicate_results, 1u);
+}
+
+TEST(Scheduler, ReplicaNeverIssuedTwiceToSameClient) {
+  Scheduler s;
+  s.register_client(0);
+  s.add_unit(make_unit(1, 0, 100.0, /*replication=*/2));
+  const auto first = s.request_work(0, 5, 0.0);
+  EXPECT_EQ(first.size(), 1u);  // second replica withheld from same client
+  const auto again = s.request_work(0, 5, 0.0);
+  EXPECT_TRUE(again.empty());
+}
+
+TEST(Scheduler, DeadlineExpiryRequeues) {
+  Scheduler s;
+  s.register_client(0);
+  s.register_client(1);
+  s.add_unit(make_unit(1, 0, 50.0));
+  (void)s.request_work(0, 1, 0.0);
+  EXPECT_TRUE(s.expire_deadlines(49.0).empty());
+  const auto expired = s.expire_deadlines(50.0);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0], 1u);
+  EXPECT_EQ(s.stats().timeouts, 1u);
+  // The unit is assignable again (even to the client that missed it).
+  const auto retry = s.request_work(1, 1, 60.0);
+  ASSERT_EQ(retry.size(), 1u);
+  EXPECT_EQ(retry[0].id, 1u);
+}
+
+TEST(Scheduler, LateResultAfterTimeoutStillFirst) {
+  Scheduler s;
+  s.register_client(0);
+  s.register_client(1);
+  s.add_unit(make_unit(1, 0, 50.0));
+  (void)s.request_work(0, 1, 0.0);
+  (void)s.expire_deadlines(60.0);
+  (void)s.request_work(1, 1, 61.0);
+  // The original client's slow result arrives before the replacement's.
+  EXPECT_TRUE(s.report_result(0, 1, 70.0));
+  EXPECT_FALSE(s.report_result(1, 1, 80.0));
+  EXPECT_TRUE(s.all_done());
+}
+
+TEST(Scheduler, ReliabilityMovesWithOutcomes) {
+  Scheduler s;
+  s.register_client(0);
+  const double initial = s.reliability(0);
+  for (WorkunitId id = 1; id <= 5; ++id) {
+    s.add_unit(make_unit(id, 0, 10.0));
+    (void)s.request_work(0, 1, 0.0);
+    s.report_result(0, id, 1.0);
+  }
+  EXPECT_GT(s.reliability(0), initial);
+  s.add_unit(make_unit(99, 0, 10.0));
+  (void)s.request_work(0, 1, 100.0);
+  const double before = s.reliability(0);
+  (void)s.expire_deadlines(200.0);
+  EXPECT_LT(s.reliability(0), before);
+}
+
+TEST(Scheduler, StickyAffinityPreferred) {
+  Scheduler s;
+  s.register_client(0);
+  s.note_cached(0, "shard/7");
+  s.add_unit(make_unit(1, 3));
+  s.add_unit(make_unit(2, 7));  // matches client 0's cache
+  const auto got = s.request_work(0, 1, 0.0);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].shard, 7u);
+  EXPECT_EQ(s.stats().affinity_hits, 1u);
+}
+
+TEST(Scheduler, ReliabilityGateLimitsFlakyClients) {
+  Scheduler s;
+  s.set_reliability_gate(0.4);
+  s.register_client(0);
+  for (WorkunitId id = 1; id <= 8; ++id) s.add_unit(make_unit(id, 0, 10.0));
+  // Fresh client (reliability 0.5) is above the gate: full grant.
+  auto got = s.request_work(0, 4, 0.0);
+  EXPECT_EQ(got.size(), 4u);
+  // Miss all four deadlines: reliability collapses below the gate.
+  (void)s.expire_deadlines(100.0);
+  EXPECT_LT(s.reliability(0), 0.4);
+  got = s.request_work(0, 4, 101.0);
+  EXPECT_EQ(got.size(), 1u);  // gated to one unit per request
+  // Returning results rebuilds trust and lifts the gate again.
+  s.report_result(0, got[0].id, 102.0);
+  for (int i = 0; i < 6; ++i) {
+    const auto one = s.request_work(0, 1, 103.0 + i);
+    if (one.empty()) break;
+    s.report_result(0, one[0].id, 104.0 + i);
+  }
+  EXPECT_GT(s.reliability(0), 0.4);
+  (void)s.request_work(0, 4, 200.0);
+}
+
+TEST(Scheduler, NextDeadlineReported) {
+  Scheduler s;
+  s.register_client(0);
+  s.add_unit(make_unit(1, 0, 30.0));
+  s.add_unit(make_unit(2, 1, 80.0));
+  (void)s.request_work(0, 2, 0.0);
+  const auto next = s.next_deadline();
+  ASSERT_TRUE(next.has_value());
+  EXPECT_DOUBLE_EQ(*next, 30.0);
+}
+
+// --- GridServer + SimClient integration --------------------------------------
+
+struct Harness {
+  SimEngine engine;
+  TraceLog trace;
+  Scheduler scheduler;
+  FileServer files;
+  NetworkModel network;
+  FleetCatalog catalog = table1_catalog();
+  GridServer server{engine, scheduler, trace, 2,
+                    [](const Blob& b) { return !b.empty(); }};
+
+  // Records assimilations and finishes after a fixed service time.
+  struct RecordingBackend : AssimilatorBackend {
+    SimEngine& engine;
+    std::vector<WorkunitId> seen;
+    explicit RecordingBackend(SimEngine& e) : engine(e) {}
+    void assimilate(ResultEnvelope env, std::size_t,
+                    std::function<void()> on_done) override {
+      seen.push_back(env.unit.id);
+      engine.schedule(1.0, [cb = std::move(on_done)] { cb(); });
+    }
+  };
+  RecordingBackend backend{engine};
+
+  Harness() {
+    server.set_backend(&backend);
+    files.publish("arch", Blob(std::vector<std::uint8_t>(64, 1)), true);
+    files.publish("params", Blob(std::vector<std::uint8_t>(256, 2)), true);
+    for (std::size_t sh = 0; sh < 8; ++sh) {
+      files.publish("shard/" + std::to_string(sh),
+                    Blob(std::vector<std::uint8_t>(512, 3)), true);
+    }
+  }
+
+  Workunit unit(WorkunitId id, std::size_t shard, SimTime deadline = 600.0) {
+    Workunit wu = make_unit(id, shard, deadline);
+    wu.inputs = {FileRef{"arch", true}, FileRef{"params", false},
+                 FileRef{"shard/" + std::to_string(shard), true}};
+    return wu;
+  }
+
+  std::unique_ptr<SimClient> make_client(ClientId id, ClientConfig cfg,
+                                         ExecuteFn exec) {
+    return std::make_unique<SimClient>(
+        id, catalog.client_types[0], cfg, engine, network, catalog.server,
+        files, scheduler, server, trace, Rng(id + 1), std::move(exec));
+  }
+};
+
+ExecuteFn ok_exec(double work = 10.0) {
+  return [work](const Workunit&, ClientId) {
+    return ExecOutcome{Blob(std::vector<std::uint8_t>(32, 9)), work};
+  };
+}
+
+TEST(GridIntegration, SingleClientCompletesUnits) {
+  Harness h;
+  for (WorkunitId id = 1; id <= 4; ++id) h.scheduler.add_unit(h.unit(id, id % 8));
+  ClientConfig cfg;
+  cfg.max_concurrent = 2;
+  auto client = h.make_client(0, cfg, ok_exec());
+  client->start();
+  h.engine.run_until(sim_hours(1.0));
+  client->stop();
+  h.engine.run();
+  EXPECT_TRUE(h.scheduler.all_done());
+  EXPECT_EQ(h.backend.seen.size(), 4u);
+  EXPECT_EQ(h.server.stats().assimilated, 4u);
+  EXPECT_EQ(client->stats().completed, 4u);
+}
+
+TEST(GridIntegration, StickyFilesCachedAcrossUnits) {
+  Harness h;
+  // Two units on the same shard: second download hits the cache for arch+shard.
+  h.scheduler.add_unit(h.unit(1, 5));
+  h.scheduler.add_unit(h.unit(2, 5));
+  ClientConfig cfg;
+  cfg.max_concurrent = 1;
+  auto client = h.make_client(0, cfg, ok_exec());
+  client->start();
+  h.engine.run_until(sim_hours(1.0));
+  client->stop();
+  h.engine.run();
+  EXPECT_GE(client->stats().cache_hits, 2u);
+  EXPECT_EQ(h.files.stats().cache_hits, client->stats().cache_hits);
+}
+
+TEST(GridIntegration, InvalidResultIsDroppedAndRecovered) {
+  Harness h;
+  h.scheduler.add_unit(h.unit(1, 0, /*deadline=*/120.0));
+  ClientConfig cfg;
+  int calls = 0;
+  // First attempt returns an empty (invalid) payload; retry succeeds.
+  ExecuteFn flaky = [&calls](const Workunit&, ClientId) {
+    ++calls;
+    if (calls == 1) return ExecOutcome{Blob(), 10.0};
+    return ExecOutcome{Blob(std::vector<std::uint8_t>(8, 1)), 10.0};
+  };
+  auto client = h.make_client(0, cfg, flaky);
+  client->start();
+  // Pump deadline sweeps like the trainer does.
+  std::function<void()> sweep = [&] {
+    (void)h.scheduler.expire_deadlines(h.engine.now());
+    if (!h.scheduler.all_done()) h.engine.schedule(30.0, sweep);
+  };
+  h.engine.schedule(30.0, sweep);
+  h.engine.run_until(sim_hours(2.0));
+  client->stop();
+  h.engine.run();
+  EXPECT_TRUE(h.scheduler.all_done());
+  EXPECT_EQ(h.server.stats().invalid, 1u);
+  EXPECT_EQ(h.server.stats().assimilated, 1u);
+  EXPECT_GE(h.scheduler.stats().timeouts, 1u);
+}
+
+TEST(GridIntegration, PreemptionLosesInflightThenRecovers) {
+  Harness h;
+  for (WorkunitId id = 1; id <= 3; ++id) {
+    h.scheduler.add_unit(h.unit(id, 0, /*deadline=*/200.0));
+  }
+  ClientConfig cfg;
+  cfg.max_concurrent = 3;
+  cfg.preemption.interruptions_per_hour = 60.0;  // aggressive: ~1/minute
+  cfg.preemption.downtime_s = 30.0;
+  auto client = h.make_client(0, cfg, ok_exec(500.0));  // long tasks
+  client->start();
+  std::function<void()> sweep = [&] {
+    (void)h.scheduler.expire_deadlines(h.engine.now());
+    if (!h.scheduler.all_done()) h.engine.schedule(20.0, sweep);
+  };
+  h.engine.schedule(20.0, sweep);
+  h.engine.run_until(sim_hours(12.0));
+  client->stop();
+  h.engine.run();
+  EXPECT_TRUE(h.scheduler.all_done());
+  EXPECT_GT(client->stats().preemptions, 0u);
+  EXPECT_GT(h.scheduler.stats().timeouts, 0u);
+  EXPECT_EQ(h.backend.seen.size(), 3u);
+  EXPECT_GT(h.trace.count(TraceKind::preempted), 0u);
+}
+
+TEST(GridIntegration, RoundRobinAcrossParameterServers) {
+  Harness h;
+  for (WorkunitId id = 1; id <= 6; ++id) h.scheduler.add_unit(h.unit(id, 0));
+  ClientConfig cfg;
+  cfg.max_concurrent = 6;
+  auto client = h.make_client(0, cfg, ok_exec());
+  client->start();
+  h.engine.run_until(sim_hours(1.0));
+  client->stop();
+  h.engine.run();
+  EXPECT_EQ(h.server.stats().assimilated, 6u);
+  EXPECT_EQ(h.server.parameter_servers(), 2u);
+}
+
+TEST(GridServer, NoBackendIsAnError) {
+  SimEngine engine;
+  TraceLog trace;
+  Scheduler scheduler;
+  scheduler.register_client(0);
+  GridServer server(engine, scheduler, trace, 1,
+                    [](const Blob&) { return true; });
+  Workunit wu = make_unit(1);
+  scheduler.add_unit(wu);
+  (void)scheduler.request_work(0, 1, 0.0);
+  EXPECT_THROW(server.submit_result(0, wu, payload_of(4)), Error);
+}
+
+}  // namespace
+}  // namespace vcdl

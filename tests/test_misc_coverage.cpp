@@ -1,0 +1,85 @@
+// Cross-cutting coverage: logging levels, VC-ASGD convergence properties,
+// and the Var-schedule algebra the paper's §IV-C relies on.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/log.hpp"
+#include "core/alpha_schedule.hpp"
+#include "core/vcasgd.hpp"
+
+namespace vcdl {
+namespace {
+
+TEST(Log, LevelRoundTrip) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::debug);
+  EXPECT_EQ(log_level(), LogLevel::debug);
+  set_log_level(LogLevel::off);
+  EXPECT_EQ(log_level(), LogLevel::off);
+  // Macros must be safe to call at any level (off: dropped, no crash).
+  VCDL_DEBUG("dropped " << 1);
+  VCDL_ERROR("dropped " << 2);
+  set_log_level(before);
+}
+
+TEST(VcAsgd, RepeatedUpdatesConvergeGeometrically) {
+  // Blending toward a fixed client copy contracts the gap by α each step:
+  // after n updates, |W_s − W_c| = α^n |W_s0 − W_c|.
+  std::vector<float> server = {0.0f};
+  const std::vector<float> client = {1.0f};
+  const double alpha = 0.9;
+  for (int n = 1; n <= 30; ++n) {
+    vcasgd_update(server, client, alpha);
+    EXPECT_NEAR(1.0 - server[0], std::pow(alpha, n), 1e-4) << "n=" << n;
+  }
+}
+
+TEST(VcAsgd, FaultToleranceOrderInsensitivityForEqualAlphaZero) {
+  // With α = 0 (pure adoption) only the LAST update matters — order changes
+  // the outcome, which is why α near 1 smooths order effects.
+  std::vector<float> s1 = {5.0f}, s2 = {5.0f};
+  vcasgd_update(s1, std::vector<float>{1.0f}, 0.0);
+  vcasgd_update(s1, std::vector<float>{2.0f}, 0.0);
+  vcasgd_update(s2, std::vector<float>{2.0f}, 0.0);
+  vcasgd_update(s2, std::vector<float>{1.0f}, 0.0);
+  EXPECT_FLOAT_EQ(s1[0], 2.0f);
+  EXPECT_FLOAT_EQ(s2[0], 1.0f);
+}
+
+TEST(VcAsgd, HighAlphaReducesOrderSensitivity) {
+  // The same two updates applied in both orders: the disagreement between
+  // the two final states shrinks as α grows (the §IV-C smoothing story).
+  auto disagreement = [](double alpha) {
+    std::vector<float> a = {0.0f}, b = {0.0f};
+    const std::vector<float> u = {1.0f}, v = {-1.0f};
+    vcasgd_update(a, u, alpha);
+    vcasgd_update(a, v, alpha);
+    vcasgd_update(b, v, alpha);
+    vcasgd_update(b, u, alpha);
+    return std::abs(a[0] - b[0]);
+  };
+  EXPECT_GT(disagreement(0.3), disagreement(0.7));
+  EXPECT_GT(disagreement(0.7), disagreement(0.95));
+}
+
+TEST(AlphaSchedule, VarProductTelescopes) {
+  // Π_{e=1..n} α_e = Π e/(e+1) = 1/(n+1): after n epochs (one Eq. (1) sweep
+  // per epoch) the initial weights retain exactly 1/(n+1) influence — the
+  // Var schedule forgets the random init fast, then stabilizes.
+  VarAlpha var;
+  double product = 1.0;
+  for (std::size_t e = 1; e <= 40; ++e) product *= var.alpha(e);
+  EXPECT_NEAR(product, 1.0 / 41.0, 1e-12);
+}
+
+TEST(AlphaSchedule, PaperEndpoints) {
+  // §IV-C: "α increases from 0.5 to 0.98 as the epoch number e increases
+  // from 1 to 40" (40/41 ≈ 0.976).
+  VarAlpha var;
+  EXPECT_DOUBLE_EQ(var.alpha(1), 0.5);
+  EXPECT_NEAR(var.alpha(40), 0.976, 1e-3);
+}
+
+}  // namespace
+}  // namespace vcdl

@@ -1,0 +1,169 @@
+#include "sim/engine.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sim/resource.hpp"
+
+namespace vcdl {
+namespace {
+
+TEST(SimEngine, RunsEventsInTimeOrder) {
+  SimEngine engine;
+  std::vector<int> order;
+  engine.schedule(3.0, [&] { order.push_back(3); });
+  engine.schedule(1.0, [&] { order.push_back(1); });
+  engine.schedule(2.0, [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(engine.now(), 3.0);
+}
+
+TEST(SimEngine, FifoWithinSameTimestamp) {
+  SimEngine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    engine.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  engine.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimEngine, EventsCanScheduleEvents) {
+  SimEngine engine;
+  std::vector<double> times;
+  engine.schedule(1.0, [&] {
+    times.push_back(engine.now());
+    engine.schedule(2.0, [&] { times.push_back(engine.now()); });
+  });
+  engine.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 3.0);
+}
+
+TEST(SimEngine, CancelPreventsExecution) {
+  SimEngine engine;
+  bool ran = false;
+  const EventId id = engine.schedule(1.0, [&] { ran = true; });
+  EXPECT_TRUE(engine.cancel(id));
+  EXPECT_FALSE(engine.cancel(id));  // second cancel is a no-op
+  engine.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimEngine, CancelAfterFireReturnsFalse) {
+  SimEngine engine;
+  const EventId id = engine.schedule(1.0, [] {});
+  engine.run();
+  EXPECT_FALSE(engine.cancel(id));
+}
+
+TEST(SimEngine, RunUntilStopsAtBoundary) {
+  SimEngine engine;
+  std::vector<double> fired;
+  engine.schedule(1.0, [&] { fired.push_back(1.0); });
+  engine.schedule(5.0, [&] { fired.push_back(5.0); });
+  engine.run_until(3.0);
+  EXPECT_EQ(fired, (std::vector<double>{1.0}));
+  EXPECT_DOUBLE_EQ(engine.now(), 3.0);
+  engine.run();
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 5.0}));
+}
+
+TEST(SimEngine, RunUntilInclusive) {
+  SimEngine engine;
+  bool ran = false;
+  engine.schedule(2.0, [&] { ran = true; });
+  engine.run_until(2.0);
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimEngine, StepExecutesOne) {
+  SimEngine engine;
+  int count = 0;
+  engine.schedule(1.0, [&] { ++count; });
+  engine.schedule(2.0, [&] { ++count; });
+  EXPECT_TRUE(engine.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(engine.step());
+  EXPECT_FALSE(engine.step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SimEngine, NegativeDelayThrows) {
+  SimEngine engine;
+  EXPECT_THROW(engine.schedule(-1.0, [] {}), Error);
+}
+
+TEST(SimEngine, ScheduleAtPastThrows) {
+  SimEngine engine;
+  engine.schedule(5.0, [] {});
+  engine.run();
+  EXPECT_THROW(engine.schedule_at(1.0, [] {}), Error);
+}
+
+TEST(SimEngine, PendingAndExecutedCounts) {
+  SimEngine engine;
+  const EventId a = engine.schedule(1.0, [] {});
+  engine.schedule(2.0, [] {});
+  EXPECT_EQ(engine.pending(), 2u);
+  engine.cancel(a);
+  EXPECT_EQ(engine.pending(), 1u);
+  engine.run();
+  EXPECT_EQ(engine.pending(), 0u);
+  EXPECT_EQ(engine.executed(), 1u);
+}
+
+TEST(SimEngine, ManyEventsStressOrdering) {
+  SimEngine engine;
+  double last = -1.0;
+  bool monotone = true;
+  Rng rng(9);
+  for (int i = 0; i < 5000; ++i) {
+    engine.schedule(rng.uniform(0.0, 100.0), [&] {
+      if (engine.now() < last) monotone = false;
+      last = engine.now();
+    });
+  }
+  engine.run();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(engine.executed(), 5000u);
+}
+
+TEST(SimMutex, ImmediateGrantWhenFree) {
+  SimMutex m;
+  bool entered = false;
+  m.acquire([&] { entered = true; });
+  EXPECT_TRUE(entered);
+  EXPECT_TRUE(m.held());
+  m.release();
+  EXPECT_FALSE(m.held());
+}
+
+TEST(SimMutex, QueuesWaitersFifo) {
+  SimMutex m;
+  std::vector<int> order;
+  m.acquire([&] { order.push_back(0); });
+  m.acquire([&] { order.push_back(1); });
+  m.acquire([&] { order.push_back(2); });
+  EXPECT_EQ(order, (std::vector<int>{0}));
+  EXPECT_EQ(m.waiting(), 2u);
+  EXPECT_EQ(m.contended(), 2u);
+  m.release();  // grants 1
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  m.release();  // grants 2
+  m.release();  // final
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_FALSE(m.held());
+}
+
+TEST(SimMutex, ReleaseWithoutHolderThrows) {
+  SimMutex m;
+  EXPECT_THROW(m.release(), Error);
+}
+
+}  // namespace
+}  // namespace vcdl
