@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_distributed.dir/bench_fig2_distributed.cpp.o"
+  "CMakeFiles/bench_fig2_distributed.dir/bench_fig2_distributed.cpp.o.d"
+  "bench_fig2_distributed"
+  "bench_fig2_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

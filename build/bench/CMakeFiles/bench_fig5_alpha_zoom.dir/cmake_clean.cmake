@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_alpha_zoom.dir/bench_fig5_alpha_zoom.cpp.o"
+  "CMakeFiles/bench_fig5_alpha_zoom.dir/bench_fig5_alpha_zoom.cpp.o.d"
+  "bench_fig5_alpha_zoom"
+  "bench_fig5_alpha_zoom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_alpha_zoom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

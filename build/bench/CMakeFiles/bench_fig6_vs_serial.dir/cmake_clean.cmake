@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_vs_serial.dir/bench_fig6_vs_serial.cpp.o"
+  "CMakeFiles/bench_fig6_vs_serial.dir/bench_fig6_vs_serial.cpp.o.d"
+  "bench_fig6_vs_serial"
+  "bench_fig6_vs_serial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_vs_serial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_secIVD_stores.dir/bench_secIVD_stores.cpp.o"
+  "CMakeFiles/bench_secIVD_stores.dir/bench_secIVD_stores.cpp.o.d"
+  "bench_secIVD_stores"
+  "bench_secIVD_stores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_secIVD_stores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

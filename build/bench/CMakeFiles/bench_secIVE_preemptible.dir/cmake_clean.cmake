@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_secIVE_preemptible.dir/bench_secIVE_preemptible.cpp.o"
+  "CMakeFiles/bench_secIVE_preemptible.dir/bench_secIVE_preemptible.cpp.o.d"
+  "bench_secIVE_preemptible"
+  "bench_secIVE_preemptible.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_secIVE_preemptible.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

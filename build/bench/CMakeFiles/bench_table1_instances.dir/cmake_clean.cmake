@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_instances.dir/bench_table1_instances.cpp.o"
+  "CMakeFiles/bench_table1_instances.dir/bench_table1_instances.cpp.o.d"
+  "bench_table1_instances"
+  "bench_table1_instances.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_instances.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

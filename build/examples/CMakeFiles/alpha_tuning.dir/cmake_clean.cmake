@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alpha_tuning.dir/alpha_tuning.cpp.o"
+  "CMakeFiles/alpha_tuning.dir/alpha_tuning.cpp.o.d"
+  "alpha_tuning"
+  "alpha_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alpha_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

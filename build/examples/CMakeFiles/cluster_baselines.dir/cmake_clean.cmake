@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_baselines.dir/cluster_baselines.cpp.o"
+  "CMakeFiles/cluster_baselines.dir/cluster_baselines.cpp.o.d"
+  "cluster_baselines"
+  "cluster_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_classification.dir/image_classification.cpp.o"
+  "CMakeFiles/image_classification.dir/image_classification.cpp.o.d"
+  "image_classification"
+  "image_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

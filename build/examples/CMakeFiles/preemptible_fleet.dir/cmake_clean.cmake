@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preemptible_fleet.dir/preemptible_fleet.cpp.o"
+  "CMakeFiles/preemptible_fleet.dir/preemptible_fleet.cpp.o.d"
+  "preemptible_fleet"
+  "preemptible_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preemptible_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeseries_forecast.dir/timeseries_forecast.cpp.o"
+  "CMakeFiles/timeseries_forecast.dir/timeseries_forecast.cpp.o.d"
+  "timeseries_forecast"
+  "timeseries_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeseries_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

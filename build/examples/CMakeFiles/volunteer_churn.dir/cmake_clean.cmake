@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volunteer_churn.dir/volunteer_churn.cpp.o"
+  "CMakeFiles/volunteer_churn.dir/volunteer_churn.cpp.o.d"
+  "volunteer_churn"
+  "volunteer_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volunteer_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,89 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "RelWithDebInfo".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "vcdl::vcdl_common" for configuration "RelWithDebInfo"
+set_property(TARGET vcdl::vcdl_common APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(vcdl::vcdl_common PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libvcdl_common.a"
+  )
+
+list(APPEND _cmake_import_check_targets vcdl::vcdl_common )
+list(APPEND _cmake_import_check_files_for_vcdl::vcdl_common "${_IMPORT_PREFIX}/lib/libvcdl_common.a" )
+
+# Import target "vcdl::vcdl_tensor" for configuration "RelWithDebInfo"
+set_property(TARGET vcdl::vcdl_tensor APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(vcdl::vcdl_tensor PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libvcdl_tensor.a"
+  )
+
+list(APPEND _cmake_import_check_targets vcdl::vcdl_tensor )
+list(APPEND _cmake_import_check_files_for_vcdl::vcdl_tensor "${_IMPORT_PREFIX}/lib/libvcdl_tensor.a" )
+
+# Import target "vcdl::vcdl_nn" for configuration "RelWithDebInfo"
+set_property(TARGET vcdl::vcdl_nn APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(vcdl::vcdl_nn PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libvcdl_nn.a"
+  )
+
+list(APPEND _cmake_import_check_targets vcdl::vcdl_nn )
+list(APPEND _cmake_import_check_files_for_vcdl::vcdl_nn "${_IMPORT_PREFIX}/lib/libvcdl_nn.a" )
+
+# Import target "vcdl::vcdl_data" for configuration "RelWithDebInfo"
+set_property(TARGET vcdl::vcdl_data APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(vcdl::vcdl_data PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libvcdl_data.a"
+  )
+
+list(APPEND _cmake_import_check_targets vcdl::vcdl_data )
+list(APPEND _cmake_import_check_files_for_vcdl::vcdl_data "${_IMPORT_PREFIX}/lib/libvcdl_data.a" )
+
+# Import target "vcdl::vcdl_sim" for configuration "RelWithDebInfo"
+set_property(TARGET vcdl::vcdl_sim APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(vcdl::vcdl_sim PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libvcdl_sim.a"
+  )
+
+list(APPEND _cmake_import_check_targets vcdl::vcdl_sim )
+list(APPEND _cmake_import_check_files_for_vcdl::vcdl_sim "${_IMPORT_PREFIX}/lib/libvcdl_sim.a" )
+
+# Import target "vcdl::vcdl_storage" for configuration "RelWithDebInfo"
+set_property(TARGET vcdl::vcdl_storage APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(vcdl::vcdl_storage PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libvcdl_storage.a"
+  )
+
+list(APPEND _cmake_import_check_targets vcdl::vcdl_storage )
+list(APPEND _cmake_import_check_files_for_vcdl::vcdl_storage "${_IMPORT_PREFIX}/lib/libvcdl_storage.a" )
+
+# Import target "vcdl::vcdl_grid" for configuration "RelWithDebInfo"
+set_property(TARGET vcdl::vcdl_grid APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(vcdl::vcdl_grid PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libvcdl_grid.a"
+  )
+
+list(APPEND _cmake_import_check_targets vcdl::vcdl_grid )
+list(APPEND _cmake_import_check_files_for_vcdl::vcdl_grid "${_IMPORT_PREFIX}/lib/libvcdl_grid.a" )
+
+# Import target "vcdl::vcdl_core" for configuration "RelWithDebInfo"
+set_property(TARGET vcdl::vcdl_core APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(vcdl::vcdl_core PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libvcdl_core.a"
+  )
+
+list(APPEND _cmake_import_check_targets vcdl::vcdl_core )
+list(APPEND _cmake_import_check_files_for_vcdl::vcdl_core "${_IMPORT_PREFIX}/lib/libvcdl_core.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

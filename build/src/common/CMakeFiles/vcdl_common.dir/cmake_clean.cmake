@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcdl_common.dir/blob.cpp.o"
+  "CMakeFiles/vcdl_common.dir/blob.cpp.o.d"
+  "CMakeFiles/vcdl_common.dir/compress.cpp.o"
+  "CMakeFiles/vcdl_common.dir/compress.cpp.o.d"
+  "CMakeFiles/vcdl_common.dir/config.cpp.o"
+  "CMakeFiles/vcdl_common.dir/config.cpp.o.d"
+  "CMakeFiles/vcdl_common.dir/error.cpp.o"
+  "CMakeFiles/vcdl_common.dir/error.cpp.o.d"
+  "CMakeFiles/vcdl_common.dir/log.cpp.o"
+  "CMakeFiles/vcdl_common.dir/log.cpp.o.d"
+  "CMakeFiles/vcdl_common.dir/rng.cpp.o"
+  "CMakeFiles/vcdl_common.dir/rng.cpp.o.d"
+  "CMakeFiles/vcdl_common.dir/stats.cpp.o"
+  "CMakeFiles/vcdl_common.dir/stats.cpp.o.d"
+  "CMakeFiles/vcdl_common.dir/table.cpp.o"
+  "CMakeFiles/vcdl_common.dir/table.cpp.o.d"
+  "CMakeFiles/vcdl_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/vcdl_common.dir/thread_pool.cpp.o.d"
+  "libvcdl_common.a"
+  "libvcdl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcdl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvcdl_common.a"
+)

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alpha_schedule.cpp" "src/core/CMakeFiles/vcdl_core.dir/alpha_schedule.cpp.o" "gcc" "src/core/CMakeFiles/vcdl_core.dir/alpha_schedule.cpp.o.d"
+  "/root/repo/src/core/baselines/dcasgd.cpp" "src/core/CMakeFiles/vcdl_core.dir/baselines/dcasgd.cpp.o" "gcc" "src/core/CMakeFiles/vcdl_core.dir/baselines/dcasgd.cpp.o.d"
+  "/root/repo/src/core/baselines/downpour.cpp" "src/core/CMakeFiles/vcdl_core.dir/baselines/downpour.cpp.o" "gcc" "src/core/CMakeFiles/vcdl_core.dir/baselines/downpour.cpp.o.d"
+  "/root/repo/src/core/baselines/easgd.cpp" "src/core/CMakeFiles/vcdl_core.dir/baselines/easgd.cpp.o" "gcc" "src/core/CMakeFiles/vcdl_core.dir/baselines/easgd.cpp.o.d"
+  "/root/repo/src/core/baselines/serial.cpp" "src/core/CMakeFiles/vcdl_core.dir/baselines/serial.cpp.o" "gcc" "src/core/CMakeFiles/vcdl_core.dir/baselines/serial.cpp.o.d"
+  "/root/repo/src/core/eval.cpp" "src/core/CMakeFiles/vcdl_core.dir/eval.cpp.o" "gcc" "src/core/CMakeFiles/vcdl_core.dir/eval.cpp.o.d"
+  "/root/repo/src/core/job.cpp" "src/core/CMakeFiles/vcdl_core.dir/job.cpp.o" "gcc" "src/core/CMakeFiles/vcdl_core.dir/job.cpp.o.d"
+  "/root/repo/src/core/param_server.cpp" "src/core/CMakeFiles/vcdl_core.dir/param_server.cpp.o" "gcc" "src/core/CMakeFiles/vcdl_core.dir/param_server.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/vcdl_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/vcdl_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/core/CMakeFiles/vcdl_core.dir/trainer.cpp.o" "gcc" "src/core/CMakeFiles/vcdl_core.dir/trainer.cpp.o.d"
+  "/root/repo/src/core/vcasgd.cpp" "src/core/CMakeFiles/vcdl_core.dir/vcasgd.cpp.o" "gcc" "src/core/CMakeFiles/vcdl_core.dir/vcasgd.cpp.o.d"
+  "/root/repo/src/core/work_generator.cpp" "src/core/CMakeFiles/vcdl_core.dir/work_generator.cpp.o" "gcc" "src/core/CMakeFiles/vcdl_core.dir/work_generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/vcdl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/vcdl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vcdl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/vcdl_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/vcdl_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/vcdl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vcdl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcdl_core.dir/alpha_schedule.cpp.o"
+  "CMakeFiles/vcdl_core.dir/alpha_schedule.cpp.o.d"
+  "CMakeFiles/vcdl_core.dir/baselines/dcasgd.cpp.o"
+  "CMakeFiles/vcdl_core.dir/baselines/dcasgd.cpp.o.d"
+  "CMakeFiles/vcdl_core.dir/baselines/downpour.cpp.o"
+  "CMakeFiles/vcdl_core.dir/baselines/downpour.cpp.o.d"
+  "CMakeFiles/vcdl_core.dir/baselines/easgd.cpp.o"
+  "CMakeFiles/vcdl_core.dir/baselines/easgd.cpp.o.d"
+  "CMakeFiles/vcdl_core.dir/baselines/serial.cpp.o"
+  "CMakeFiles/vcdl_core.dir/baselines/serial.cpp.o.d"
+  "CMakeFiles/vcdl_core.dir/eval.cpp.o"
+  "CMakeFiles/vcdl_core.dir/eval.cpp.o.d"
+  "CMakeFiles/vcdl_core.dir/job.cpp.o"
+  "CMakeFiles/vcdl_core.dir/job.cpp.o.d"
+  "CMakeFiles/vcdl_core.dir/param_server.cpp.o"
+  "CMakeFiles/vcdl_core.dir/param_server.cpp.o.d"
+  "CMakeFiles/vcdl_core.dir/report.cpp.o"
+  "CMakeFiles/vcdl_core.dir/report.cpp.o.d"
+  "CMakeFiles/vcdl_core.dir/trainer.cpp.o"
+  "CMakeFiles/vcdl_core.dir/trainer.cpp.o.d"
+  "CMakeFiles/vcdl_core.dir/vcasgd.cpp.o"
+  "CMakeFiles/vcdl_core.dir/vcasgd.cpp.o.d"
+  "CMakeFiles/vcdl_core.dir/work_generator.cpp.o"
+  "CMakeFiles/vcdl_core.dir/work_generator.cpp.o.d"
+  "libvcdl_core.a"
+  "libvcdl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcdl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

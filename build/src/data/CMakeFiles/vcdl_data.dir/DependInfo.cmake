@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/vcdl_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/vcdl_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/shards.cpp" "src/data/CMakeFiles/vcdl_data.dir/shards.cpp.o" "gcc" "src/data/CMakeFiles/vcdl_data.dir/shards.cpp.o.d"
+  "/root/repo/src/data/synthetic.cpp" "src/data/CMakeFiles/vcdl_data.dir/synthetic.cpp.o" "gcc" "src/data/CMakeFiles/vcdl_data.dir/synthetic.cpp.o.d"
+  "/root/repo/src/data/timeseries.cpp" "src/data/CMakeFiles/vcdl_data.dir/timeseries.cpp.o" "gcc" "src/data/CMakeFiles/vcdl_data.dir/timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/vcdl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vcdl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

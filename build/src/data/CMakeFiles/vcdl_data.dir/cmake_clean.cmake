@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcdl_data.dir/dataset.cpp.o"
+  "CMakeFiles/vcdl_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/vcdl_data.dir/shards.cpp.o"
+  "CMakeFiles/vcdl_data.dir/shards.cpp.o.d"
+  "CMakeFiles/vcdl_data.dir/synthetic.cpp.o"
+  "CMakeFiles/vcdl_data.dir/synthetic.cpp.o.d"
+  "CMakeFiles/vcdl_data.dir/timeseries.cpp.o"
+  "CMakeFiles/vcdl_data.dir/timeseries.cpp.o.d"
+  "libvcdl_data.a"
+  "libvcdl_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcdl_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

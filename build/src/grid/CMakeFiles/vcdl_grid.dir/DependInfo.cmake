@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/client.cpp" "src/grid/CMakeFiles/vcdl_grid.dir/client.cpp.o" "gcc" "src/grid/CMakeFiles/vcdl_grid.dir/client.cpp.o.d"
+  "/root/repo/src/grid/file_server.cpp" "src/grid/CMakeFiles/vcdl_grid.dir/file_server.cpp.o" "gcc" "src/grid/CMakeFiles/vcdl_grid.dir/file_server.cpp.o.d"
+  "/root/repo/src/grid/scheduler.cpp" "src/grid/CMakeFiles/vcdl_grid.dir/scheduler.cpp.o" "gcc" "src/grid/CMakeFiles/vcdl_grid.dir/scheduler.cpp.o.d"
+  "/root/repo/src/grid/server.cpp" "src/grid/CMakeFiles/vcdl_grid.dir/server.cpp.o" "gcc" "src/grid/CMakeFiles/vcdl_grid.dir/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vcdl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vcdl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

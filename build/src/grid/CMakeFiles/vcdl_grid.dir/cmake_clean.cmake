@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcdl_grid.dir/client.cpp.o"
+  "CMakeFiles/vcdl_grid.dir/client.cpp.o.d"
+  "CMakeFiles/vcdl_grid.dir/file_server.cpp.o"
+  "CMakeFiles/vcdl_grid.dir/file_server.cpp.o.d"
+  "CMakeFiles/vcdl_grid.dir/scheduler.cpp.o"
+  "CMakeFiles/vcdl_grid.dir/scheduler.cpp.o.d"
+  "CMakeFiles/vcdl_grid.dir/server.cpp.o"
+  "CMakeFiles/vcdl_grid.dir/server.cpp.o.d"
+  "libvcdl_grid.a"
+  "libvcdl_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcdl_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

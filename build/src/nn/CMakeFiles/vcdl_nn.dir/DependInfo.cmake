@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/vcdl_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/vcdl_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "src/nn/CMakeFiles/vcdl_nn.dir/conv2d.cpp.o" "gcc" "src/nn/CMakeFiles/vcdl_nn.dir/conv2d.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/nn/CMakeFiles/vcdl_nn.dir/dense.cpp.o" "gcc" "src/nn/CMakeFiles/vcdl_nn.dir/dense.cpp.o.d"
+  "/root/repo/src/nn/init.cpp" "src/nn/CMakeFiles/vcdl_nn.dir/init.cpp.o" "gcc" "src/nn/CMakeFiles/vcdl_nn.dir/init.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/vcdl_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/vcdl_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/misc_layers.cpp" "src/nn/CMakeFiles/vcdl_nn.dir/misc_layers.cpp.o" "gcc" "src/nn/CMakeFiles/vcdl_nn.dir/misc_layers.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "src/nn/CMakeFiles/vcdl_nn.dir/model.cpp.o" "gcc" "src/nn/CMakeFiles/vcdl_nn.dir/model.cpp.o.d"
+  "/root/repo/src/nn/model_io.cpp" "src/nn/CMakeFiles/vcdl_nn.dir/model_io.cpp.o" "gcc" "src/nn/CMakeFiles/vcdl_nn.dir/model_io.cpp.o.d"
+  "/root/repo/src/nn/model_zoo.cpp" "src/nn/CMakeFiles/vcdl_nn.dir/model_zoo.cpp.o" "gcc" "src/nn/CMakeFiles/vcdl_nn.dir/model_zoo.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/vcdl_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/vcdl_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/pool2d.cpp" "src/nn/CMakeFiles/vcdl_nn.dir/pool2d.cpp.o" "gcc" "src/nn/CMakeFiles/vcdl_nn.dir/pool2d.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/vcdl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vcdl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcdl_nn.dir/activations.cpp.o"
+  "CMakeFiles/vcdl_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/vcdl_nn.dir/conv2d.cpp.o"
+  "CMakeFiles/vcdl_nn.dir/conv2d.cpp.o.d"
+  "CMakeFiles/vcdl_nn.dir/dense.cpp.o"
+  "CMakeFiles/vcdl_nn.dir/dense.cpp.o.d"
+  "CMakeFiles/vcdl_nn.dir/init.cpp.o"
+  "CMakeFiles/vcdl_nn.dir/init.cpp.o.d"
+  "CMakeFiles/vcdl_nn.dir/loss.cpp.o"
+  "CMakeFiles/vcdl_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/vcdl_nn.dir/misc_layers.cpp.o"
+  "CMakeFiles/vcdl_nn.dir/misc_layers.cpp.o.d"
+  "CMakeFiles/vcdl_nn.dir/model.cpp.o"
+  "CMakeFiles/vcdl_nn.dir/model.cpp.o.d"
+  "CMakeFiles/vcdl_nn.dir/model_io.cpp.o"
+  "CMakeFiles/vcdl_nn.dir/model_io.cpp.o.d"
+  "CMakeFiles/vcdl_nn.dir/model_zoo.cpp.o"
+  "CMakeFiles/vcdl_nn.dir/model_zoo.cpp.o.d"
+  "CMakeFiles/vcdl_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/vcdl_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/vcdl_nn.dir/pool2d.cpp.o"
+  "CMakeFiles/vcdl_nn.dir/pool2d.cpp.o.d"
+  "libvcdl_nn.a"
+  "libvcdl_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcdl_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

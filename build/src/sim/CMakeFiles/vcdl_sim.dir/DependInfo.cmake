@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/availability.cpp" "src/sim/CMakeFiles/vcdl_sim.dir/availability.cpp.o" "gcc" "src/sim/CMakeFiles/vcdl_sim.dir/availability.cpp.o.d"
+  "/root/repo/src/sim/cost.cpp" "src/sim/CMakeFiles/vcdl_sim.dir/cost.cpp.o" "gcc" "src/sim/CMakeFiles/vcdl_sim.dir/cost.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/vcdl_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/vcdl_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/instance.cpp" "src/sim/CMakeFiles/vcdl_sim.dir/instance.cpp.o" "gcc" "src/sim/CMakeFiles/vcdl_sim.dir/instance.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/sim/CMakeFiles/vcdl_sim.dir/network.cpp.o" "gcc" "src/sim/CMakeFiles/vcdl_sim.dir/network.cpp.o.d"
+  "/root/repo/src/sim/preemption.cpp" "src/sim/CMakeFiles/vcdl_sim.dir/preemption.cpp.o" "gcc" "src/sim/CMakeFiles/vcdl_sim.dir/preemption.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/vcdl_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/vcdl_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vcdl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

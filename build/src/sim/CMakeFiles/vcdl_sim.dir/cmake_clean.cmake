@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcdl_sim.dir/availability.cpp.o"
+  "CMakeFiles/vcdl_sim.dir/availability.cpp.o.d"
+  "CMakeFiles/vcdl_sim.dir/cost.cpp.o"
+  "CMakeFiles/vcdl_sim.dir/cost.cpp.o.d"
+  "CMakeFiles/vcdl_sim.dir/engine.cpp.o"
+  "CMakeFiles/vcdl_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/vcdl_sim.dir/instance.cpp.o"
+  "CMakeFiles/vcdl_sim.dir/instance.cpp.o.d"
+  "CMakeFiles/vcdl_sim.dir/network.cpp.o"
+  "CMakeFiles/vcdl_sim.dir/network.cpp.o.d"
+  "CMakeFiles/vcdl_sim.dir/preemption.cpp.o"
+  "CMakeFiles/vcdl_sim.dir/preemption.cpp.o.d"
+  "CMakeFiles/vcdl_sim.dir/trace.cpp.o"
+  "CMakeFiles/vcdl_sim.dir/trace.cpp.o.d"
+  "libvcdl_sim.a"
+  "libvcdl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcdl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvcdl_sim.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/eventual_store.cpp" "src/storage/CMakeFiles/vcdl_storage.dir/eventual_store.cpp.o" "gcc" "src/storage/CMakeFiles/vcdl_storage.dir/eventual_store.cpp.o.d"
+  "/root/repo/src/storage/factory.cpp" "src/storage/CMakeFiles/vcdl_storage.dir/factory.cpp.o" "gcc" "src/storage/CMakeFiles/vcdl_storage.dir/factory.cpp.o.d"
+  "/root/repo/src/storage/strong_store.cpp" "src/storage/CMakeFiles/vcdl_storage.dir/strong_store.cpp.o" "gcc" "src/storage/CMakeFiles/vcdl_storage.dir/strong_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vcdl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcdl_storage.dir/eventual_store.cpp.o"
+  "CMakeFiles/vcdl_storage.dir/eventual_store.cpp.o.d"
+  "CMakeFiles/vcdl_storage.dir/factory.cpp.o"
+  "CMakeFiles/vcdl_storage.dir/factory.cpp.o.d"
+  "CMakeFiles/vcdl_storage.dir/strong_store.cpp.o"
+  "CMakeFiles/vcdl_storage.dir/strong_store.cpp.o.d"
+  "libvcdl_storage.a"
+  "libvcdl_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcdl_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

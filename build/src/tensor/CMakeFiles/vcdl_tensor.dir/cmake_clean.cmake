@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcdl_tensor.dir/ops.cpp.o"
+  "CMakeFiles/vcdl_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/vcdl_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/vcdl_tensor.dir/tensor.cpp.o.d"
+  "libvcdl_tensor.a"
+  "libvcdl_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcdl_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

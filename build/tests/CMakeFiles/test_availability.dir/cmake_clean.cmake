@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_availability.dir/test_availability.cpp.o"
+  "CMakeFiles/test_availability.dir/test_availability.cpp.o.d"
+  "test_availability"
+  "test_availability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blob.dir/test_blob.cpp.o"
+  "CMakeFiles/test_blob.dir/test_blob.cpp.o.d"
+  "test_blob"
+  "test_blob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grid_client.dir/test_grid_client.cpp.o"
+  "CMakeFiles/test_grid_client.dir/test_grid_client.cpp.o.d"
+  "test_grid_client"
+  "test_grid_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grid_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

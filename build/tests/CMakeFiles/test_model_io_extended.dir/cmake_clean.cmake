@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_io_extended.dir/test_model_io_extended.cpp.o"
+  "CMakeFiles/test_model_io_extended.dir/test_model_io_extended.cpp.o.d"
+  "test_model_io_extended"
+  "test_model_io_extended.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_io_extended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

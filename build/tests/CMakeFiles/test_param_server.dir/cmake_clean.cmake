@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_param_server.dir/test_param_server.cpp.o"
+  "CMakeFiles/test_param_server.dir/test_param_server.cpp.o.d"
+  "test_param_server"
+  "test_param_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_param_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

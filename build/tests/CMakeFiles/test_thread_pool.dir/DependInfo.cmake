@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_thread_pool.cpp" "tests/CMakeFiles/test_thread_pool.dir/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/test_thread_pool.dir/test_thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vcdl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/vcdl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/vcdl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/vcdl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/vcdl_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/vcdl_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vcdl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vcdl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
