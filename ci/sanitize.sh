@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Build the project with ASan+UBSan and run the tier-1 test suite under them.
+#
+# Usage: ci/sanitize.sh [extra ctest args...]
+# Uses a dedicated build tree (build-sanitize/) so the regular build stays
+# untouched. TSan is available separately: -DVCDL_SANITIZE=thread.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=build-sanitize
+
+cmake -B "${BUILD_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DVCDL_SANITIZE="address;undefined" \
+  -DVCDL_BUILD_BENCHES=OFF \
+  -DVCDL_BUILD_EXAMPLES=OFF
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+
+# halt_on_error so a UBSan report fails the suite instead of scrolling by;
+# detect_leaks exercises LSan on every test exit.
+export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" "$@"

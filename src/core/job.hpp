@@ -17,6 +17,7 @@
 #include "nn/model_zoo.hpp"
 #include "sim/availability.hpp"
 #include "sim/engine.hpp"
+#include "sim/faults.hpp"
 #include "sim/network.hpp"
 
 namespace vcdl {
@@ -77,6 +78,16 @@ struct ExperimentSpec {
   SimTime preemption_downtime_s = 120.0;
   NetworkModel network;
 
+  // Fault injection & recovery (sim/faults.hpp). An all-zero plan (default)
+  // injects nothing and draws no randomness — fault-free runs stay
+  // bit-identical to the pre-chaos simulator.
+  FaultPlan faults;
+  /// Client transfer backoff / fast-fail policy (only exercised on failures).
+  RetryPolicy client_retry;
+  /// Parameter-checkpoint period for grid-server crash recovery; 0 disables
+  /// checkpointing (and crash replay falls back to the initial snapshot).
+  SimTime checkpoint_interval_s = 0.0;
+
   std::uint64_t seed = 7;
   bool trace = false;
 
@@ -113,6 +124,13 @@ struct RunTotals {
   std::uint64_t bytes_wire = 0;
   std::uint64_t duplicates = 0;
   std::size_t parameter_count = 0;
+  // Chaos accounting (all zero on fault-free runs).
+  std::uint64_t transfer_failures = 0;   // dropped download/upload attempts
+  std::uint64_t abandoned_subtasks = 0;  // client fast-fail give-ups
+  std::uint64_t invalid_results = 0;     // validator rejections (corruption)
+  std::uint64_t server_crashes = 0;
+  std::uint64_t checkpoint_restores = 0;
+  std::uint64_t reissued_units = 0;      // units un-retired by crash recovery
 };
 
 struct TrainResult {

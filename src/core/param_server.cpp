@@ -50,34 +50,86 @@ void VcAsgdAssimilator::commit(const std::vector<float>& params,
 
 void VcAsgdAssimilator::assimilate(ResultEnvelope env, std::size_t ps_index,
                                    std::function<void()> on_done) {
-  const double alpha = schedule_.alpha(env.unit.epoch);
-  const auto shared_env = std::make_shared<ResultEnvelope>(std::move(env));
-  const auto done = std::make_shared<std::function<void()>>(std::move(on_done));
+  auto shared_env = std::make_shared<ResultEnvelope>(std::move(env));
+  auto done = std::make_shared<std::function<void()>>(std::move(on_done));
+  try_assimilate(std::move(shared_env), std::move(done), ps_index,
+                 /*attempt=*/0);
+}
+
+void VcAsgdAssimilator::try_assimilate(
+    std::shared_ptr<ResultEnvelope> env,
+    std::shared_ptr<std::function<void()>> done, std::size_t ps_index,
+    std::size_t attempt) {
+  // Every continuation below checks the server generation it started under:
+  // a crash bumps it, the worker slot was already reset, and this chain must
+  // stop dead — committing pre-crash state after a checkpoint replay would
+  // resurrect exactly what the crash destroyed.
+  const std::uint64_t gen = server_.generation();
   const std::string ps_name = "ps-" + std::to_string(ps_index);
+
+  // Injected store fault: one draw covers this attempt's read+write pair.
+  double latency_factor = 1.0;
+  if (faults_ != nullptr) {
+    const auto fault = faults_->on_transfer(FaultSite::store);
+    if (fault.dropped) {
+      // Outage: back off and retry the whole attempt. Unbounded but capped —
+      // the result is already retired at the scheduler, so abandoning it
+      // here would strand the workunit.
+      trace_.record(engine_.now(), TraceKind::store_fault, ps_name,
+                    env->unit.label() + " retry " + std::to_string(attempt));
+      const SimTime delay = store_retry_.delay(attempt, rng_);
+      engine_.schedule(delay, [this, env, done, ps_index, attempt, gen] {
+        if (server_.generation() != gen) return;
+        try_assimilate(env, done, ps_index, attempt + 1);
+      });
+      return;
+    }
+    latency_factor = fault.time_factor;
+    if (latency_factor > 1.0) {
+      trace_.record(engine_.now(), TraceKind::store_fault, ps_name,
+                    env->unit.label() + " latency spike");
+    }
+  }
+
+  const double alpha = schedule_.alpha(env->unit.epoch);
+  const auto shared_env = env;
 
   if (store_.kind() == "strong") {
     // MySQL-like: the read-blend-write is one serializable transaction; the
     // virtual lock makes concurrent workers queue, then each pays the full
     // 1.29 s update latency. Validation happens outside the transaction.
-    txn_lock_.acquire([this, shared_env, done, alpha, ps_name] {
-      engine_.schedule(store_.latency().update_s(), [this, shared_env, done,
-                                                     alpha, ps_name] {
-        const auto current = store_.get(options_.params_key);
-        VCDL_CHECK(current.has_value(), "assimilate: params missing from store");
-        std::vector<float> server_params = load_params(current->value);
-        const std::vector<float> client_params = load_params(shared_env->payload);
-        vcasgd_update(server_params, client_params, alpha);
-        commit(server_params, current->version);
+    txn_lock_.acquire([this, shared_env, done, alpha, gen, latency_factor] {
+      if (server_.generation() != gen) {
         txn_lock_.release();
-        // Validation of the committed parameters.
-        eval_model_.set_flat_params(server_params);
-        const double acc = evaluate_accuracy_subsample(
-            eval_model_, validation_, options_.validation_subsample, rng_);
-        engine_.schedule(validation_time(), [this, shared_env, done, acc] {
-          on_assimilated_(shared_env->unit.epoch, acc);
-          (*done)();
-        });
-      });
+        return;
+      }
+      engine_.schedule(
+          store_.latency().update_s() * latency_factor,
+          [this, shared_env, done, alpha, gen] {
+            if (server_.generation() != gen) {
+              txn_lock_.release();
+              return;
+            }
+            const auto current = store_.get(options_.params_key);
+            VCDL_CHECK(current.has_value(),
+                       "assimilate: params missing from store");
+            std::vector<float> server_params = load_params(current->value);
+            const std::vector<float> client_params =
+                load_params(shared_env->payload);
+            vcasgd_update(server_params, client_params, alpha);
+            commit(server_params, current->version);
+            txn_lock_.release();
+            // Validation of the committed parameters.
+            eval_model_.set_flat_params(server_params);
+            const double acc = evaluate_accuracy_subsample(
+                eval_model_, validation_, options_.validation_subsample, rng_);
+            engine_.schedule(validation_time(),
+                             [this, shared_env, done, acc, gen] {
+                               if (server_.generation() != gen) return;
+                               on_assimilated_(shared_env->unit.epoch, acc);
+                               (*done)();
+                             });
+          });
     });
     return;
   }
@@ -88,28 +140,37 @@ void VcAsgdAssimilator::assimilate(ResultEnvelope env, std::size_t ps_index,
   // *after* the write, outside the race window, as in the paper's pipeline
   // ("after assimilating ... the parameter server computes the validation
   // accuracy").
-  engine_.schedule(store_.latency().read_s, [this, shared_env, done, alpha,
-                                             ps_name] {
-    const auto current = store_.get(options_.params_key);
-    VCDL_CHECK(current.has_value(), "assimilate: params missing from store");
-    auto server_params =
-        std::make_shared<std::vector<float>>(load_params(current->value));
-    const std::vector<float> client_params = load_params(shared_env->payload);
-    vcasgd_update(*server_params, client_params, alpha);
-    const std::uint64_t read_version = current->version;
-    engine_.schedule(store_.latency().write_s, [this, shared_env, done,
-                                                server_params, read_version] {
-      commit(*server_params, read_version);
-      // Validate the committed copy (real forward passes, virtual duration).
-      eval_model_.set_flat_params(*server_params);
-      const double acc = evaluate_accuracy_subsample(
-          eval_model_, validation_, options_.validation_subsample, rng_);
-      engine_.schedule(validation_time(), [this, shared_env, done, acc] {
-        on_assimilated_(shared_env->unit.epoch, acc);
-        (*done)();
+  engine_.schedule(
+      store_.latency().read_s * latency_factor,
+      [this, shared_env, done, alpha, gen, latency_factor] {
+        if (server_.generation() != gen) return;
+        const auto current = store_.get(options_.params_key);
+        VCDL_CHECK(current.has_value(), "assimilate: params missing from store");
+        auto server_params =
+            std::make_shared<std::vector<float>>(load_params(current->value));
+        const std::vector<float> client_params =
+            load_params(shared_env->payload);
+        vcasgd_update(*server_params, client_params, alpha);
+        const std::uint64_t read_version = current->version;
+        engine_.schedule(
+            store_.latency().write_s * latency_factor,
+            [this, shared_env, done, server_params, read_version, gen] {
+              if (server_.generation() != gen) return;
+              commit(*server_params, read_version);
+              // Validate the committed copy (real forward passes, virtual
+              // duration).
+              eval_model_.set_flat_params(*server_params);
+              const double acc = evaluate_accuracy_subsample(
+                  eval_model_, validation_, options_.validation_subsample,
+                  rng_);
+              engine_.schedule(validation_time(),
+                               [this, shared_env, done, acc, gen] {
+                                 if (server_.generation() != gen) return;
+                                 on_assimilated_(shared_env->unit.epoch, acc);
+                                 (*done)();
+                               });
+            });
       });
-    });
-  });
 }
 
 }  // namespace vcdl

@@ -24,6 +24,7 @@
 #include "grid/file_server.hpp"
 #include "grid/server.hpp"
 #include "nn/model.hpp"
+#include "sim/faults.hpp"
 #include "sim/instance.hpp"
 #include "sim/resource.hpp"
 #include "storage/kvstore.hpp"
@@ -51,17 +52,28 @@ class VcAsgdAssimilator : public AssimilatorBackend {
   void assimilate(ResultEnvelope env, std::size_t ps_index,
                   std::function<void()> on_done) override;
 
+  /// Attaches the run's fault injector (nullptr = fault-free; the default).
+  /// Store operations may then fail (the worker backs off and retries with
+  /// capped exponential delay) or run at a latency-spike multiple.
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+
   /// Latest parameter vector written by any worker (the published copy that
   /// clients train from; kept in sync with the file server blob).
   const std::vector<float>& published_params() const { return published_; }
 
   /// Seeds the store + published copy + parameter file with initial weights.
+  /// Also the checkpoint-replay hook: re-installing a snapshot through here
+  /// rewinds the store, the parameter file, and the published copy at once.
   void publish_initial(const std::vector<float>& params);
 
  private:
   /// Virtual seconds one validation takes given current worker contention.
   SimTime validation_time() const;
   void commit(const std::vector<float>& params, std::uint64_t read_version);
+  /// One assimilation attempt; reschedules itself on injected store failures.
+  void try_assimilate(std::shared_ptr<ResultEnvelope> env,
+                      std::shared_ptr<std::function<void()>> done,
+                      std::size_t ps_index, std::size_t attempt);
 
   SimEngine& engine_;
   KvStore& store_;
@@ -75,6 +87,8 @@ class VcAsgdAssimilator : public AssimilatorBackend {
   TraceLog& trace_;
   Rng rng_;
   std::function<void(std::size_t, double)> on_assimilated_;
+  FaultInjector* faults_ = nullptr;
+  RetryPolicy store_retry_;  // backoff for injected store outages
   SimMutex txn_lock_;  // strong-store transaction serialization
   std::vector<float> published_;
 };

@@ -14,6 +14,8 @@
 #include "nn/model_io.hpp"
 #include "nn/optimizer.hpp"
 #include "sim/cost.hpp"
+#include "sim/faults.hpp"
+#include "storage/checkpoint.hpp"
 #include "storage/kvstore.hpp"
 
 namespace vcdl {
@@ -66,6 +68,14 @@ TrainResult VcTrainer::run() {
   Scheduler scheduler;
   if (spec_.reliability_gate > 0.0) {
     scheduler.set_reliability_gate(spec_.reliability_gate);
+  }
+
+  // Fault injection: constructed only when the plan injects something, so
+  // fault-free runs perform zero extra Rng draws and stay bit-identical.
+  std::unique_ptr<FaultInjector> injector;
+  if (spec_.faults.any()) {
+    injector = std::make_unique<FaultInjector>(spec_.faults,
+                                               master.fork(0xFA17));
   }
 
   const FleetCatalog catalog = table1_catalog();
@@ -154,7 +164,16 @@ TrainResult VcTrainer::run() {
         }
       });
   server.set_backend(&assimilator);
+  if (injector) assimilator.set_fault_injector(injector.get());
   assimilator.publish_initial(initial_params);
+
+  // --- Checkpointing (grid-server crash recovery) -----------------------------
+  // Replaying a snapshot through publish_initial rewinds the store value, the
+  // published parameter file, and the in-memory copy in one step.
+  Checkpointer checkpointer(*store, "params", [&](const Blob& blob) {
+    assimilator.publish_initial(load_params(blob));
+  });
+  checkpointer.snapshot();  // recovery floor: the initial weights
 
   // --- Client training callback ----------------------------------------------
   Model worker_model = template_model;  // scratch replica (DES is serial)
@@ -198,9 +217,11 @@ TrainResult VcTrainer::run() {
         spec_.preemptible ? spec_.interruption_per_hour : 0.0;
     cc.preemption.downtime_s = spec_.preemption_downtime_s;
     cc.availability = spec_.availability;
+    cc.retry = spec_.client_retry;
     clients.push_back(std::make_unique<SimClient>(
         i, fleet[i], cc, engine, spec_.network, catalog.server, files,
         scheduler, server, trace_, master.fork(0xC11E + i), execute));
+    if (injector) clients.back()->set_fault_injector(injector.get());
   }
 
   // --- Timeout sweep (drives the BOINC deadline-reassignment loop) -----------
@@ -214,10 +235,41 @@ TrainResult VcTrainer::run() {
     engine.schedule(kTimeoutSweepPeriod, sweep);
   };
 
+  // --- Periodic checkpoint loop ----------------------------------------------
+  std::function<void()> checkpoint_tick = [&] {
+    if (!running) return;
+    if (checkpointer.snapshot()) {
+      trace_.record(engine.now(), TraceKind::checkpoint_saved, "checkpointer",
+                    "snapshot #" + std::to_string(checkpointer.stats().snapshots));
+    }
+    engine.schedule(spec_.checkpoint_interval_s, checkpoint_tick);
+  };
+
+  // --- Injected grid-server crash / recovery schedule -------------------------
+  for (const SimTime when : spec_.faults.server_crashes) {
+    engine.schedule_at(when, [&] {
+      if (!running || !server.is_up()) return;
+      server.crash();
+      engine.schedule(spec_.faults.server_recovery_s, [&] {
+        if (!running) return;
+        if (checkpointer.restore()) {
+          trace_.record(engine.now(), TraceKind::checkpoint_restored,
+                        "checkpointer",
+                        "replayed snapshot after crash #" +
+                            std::to_string(server.stats().crashes));
+        }
+        server.restore();
+      });
+    });
+  }
+
   // --- Go ---------------------------------------------------------------------
   work_gen.generate_epoch(1);
   for (auto& c : clients) c->start();
   engine.schedule(kTimeoutSweepPeriod, sweep);
+  if (spec_.checkpoint_interval_s > 0.0) {
+    engine.schedule(spec_.checkpoint_interval_s, checkpoint_tick);
+  }
   engine.run();
   VCDL_CHECK(!running, "VcTrainer: simulation drained before job completion");
 
@@ -232,7 +284,13 @@ TrainResult VcTrainer::run() {
   result.totals.timeouts = scheduler.stats().timeouts;
   for (const auto& c : clients) {
     result.totals.preemptions += c->stats().preemptions;
+    result.totals.transfer_failures += c->stats().transfer_failures;
+    result.totals.abandoned_subtasks += c->stats().abandoned;
   }
+  result.totals.invalid_results = scheduler.stats().invalid_results;
+  result.totals.reissued_units = scheduler.stats().reissues;
+  result.totals.server_crashes = server.stats().crashes;
+  result.totals.checkpoint_restores = checkpointer.stats().restores;
   result.totals.lost_updates = store->stats().lost_updates;
   result.totals.store_reads = store->stats().reads;
   result.totals.store_writes = store->stats().writes;

@@ -19,6 +19,8 @@ SimClient::SimClient(ClientId id, InstanceType instance, ClientConfig config,
       scheduler_(scheduler), server_(server), trace_(trace), rng_(rng),
       execute_(std::move(execute)) {
   VCDL_CHECK(config_.max_concurrent >= 1, "SimClient: Tn must be >= 1");
+  VCDL_CHECK(config_.retry.max_attempts >= 1,
+             "SimClient: retry.max_attempts must be >= 1");
   VCDL_CHECK(execute_ != nullptr, "SimClient: null execute callback");
 }
 
@@ -62,6 +64,17 @@ void SimClient::poll() {
   schedule_poll(config_.poll_interval_s);
 }
 
+bool SimClient::needs_transfer(const Workunit& unit) const {
+  for (const auto& ref : unit.inputs) {
+    if (!ref.sticky) return true;
+    const auto it = cache_.find(ref.name);
+    if (it == cache_.end() || it->second != files_.version(ref.name)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 SimTime SimClient::download_time(const Workunit& unit) {
   SimTime total = 0.0;
   for (const auto& ref : unit.inputs) {
@@ -90,7 +103,20 @@ SimTime SimClient::download_time(const Workunit& unit) {
 void SimClient::begin_unit(const Workunit& unit) {
   ++active_;
   trace_.record(engine_.now(), TraceKind::assigned, name(), unit.label());
-  const SimTime dl = download_time(unit);
+  attempt_download(unit, /*attempt=*/0);
+}
+
+void SimClient::attempt_download(const Workunit& unit, std::size_t attempt) {
+  FaultInjector::TransferOutcome fault;
+  // Fully cached units move no bytes, so there is no transfer to fail.
+  if (faults_ != nullptr && needs_transfer(unit)) {
+    fault = faults_->on_transfer(FaultSite::download);
+  }
+  if (fault.dropped) {
+    transfer_failed(unit, TransferStage::download, nullptr, attempt);
+    return;
+  }
+  const SimTime dl = download_time(unit) * fault.time_factor;
   trace_.record(engine_.now(), TraceKind::download, name(), unit.label());
   const EventId id = engine_.schedule(dl, [this, unit] { exec_unit(unit); });
   track(id);
@@ -117,18 +143,76 @@ void SimClient::exec_unit(const Workunit& unit) {
 
 void SimClient::finish_unit(const Workunit& unit, Blob payload) {
   trace_.record(engine_.now(), TraceKind::exec_done, name(), unit.label());
-  const std::size_t bytes = payload.size();
-  const SimTime up =
-      network_.transfer_time(bytes, instance_, server_instance_, rng_);
-  stats_.bytes_uploaded += bytes;
-  auto shared = std::make_shared<Blob>(std::move(payload));
-  const EventId id = engine_.schedule(up, [this, unit, shared] {
-    trace_.record(engine_.now(), TraceKind::upload, name(), unit.label());
-    VCDL_CHECK(active_ > 0, "SimClient: completion without active subtask");
+  // Corruption strikes the serialized payload once, before the first upload
+  // attempt; retries re-send the same corrupted bytes (the client has no way
+  // to know, only the server-side checksum validator does).
+  if (faults_ != nullptr && faults_->corrupt_result()) {
+    faults_->corrupt(payload);
+  }
+  attempt_upload(unit, std::make_shared<Blob>(std::move(payload)),
+                 /*attempt=*/0);
+}
+
+void SimClient::attempt_upload(const Workunit& unit,
+                               std::shared_ptr<Blob> payload,
+                               std::size_t attempt) {
+  FaultInjector::TransferOutcome fault;
+  if (faults_ != nullptr) fault = faults_->on_transfer(FaultSite::upload);
+  if (fault.dropped) {
+    transfer_failed(unit, TransferStage::upload, payload, attempt);
+    return;
+  }
+  const SimTime up = network_.transfer_time(payload->size(), instance_,
+                                            server_instance_, rng_) *
+                     fault.time_factor;
+  const EventId id =
+      engine_.schedule(up, [this, unit, payload, attempt] {
+        if (!server_.is_up()) {
+          // The grid server is down: the upload bounced. Back off and retry —
+          // the server may have recovered (checkpoint replay) by then.
+          transfer_failed(unit, TransferStage::upload, payload, attempt);
+          return;
+        }
+        trace_.record(engine_.now(), TraceKind::upload, name(), unit.label());
+        stats_.bytes_uploaded += payload->size();
+        VCDL_CHECK(active_ > 0, "SimClient: completion without active subtask");
+        --active_;
+        ++stats_.completed;
+        server_.submit_result(id_, unit, std::move(*payload));
+        schedule_poll(0.0);  // a slot just freed up
+      });
+  track(id);
+}
+
+void SimClient::transfer_failed(const Workunit& unit, TransferStage stage,
+                                std::shared_ptr<Blob> payload,
+                                std::size_t attempt) {
+  ++stats_.transfer_failures;
+  trace_.record(engine_.now(), TraceKind::transfer_failed, name(),
+                unit.label() + (stage == TransferStage::download
+                                    ? " download"
+                                    : " upload"));
+  if (attempt + 1 >= config_.retry.max_attempts) {
+    // Fast-fail: give the replica back now rather than letting the deadline
+    // discover the loss minutes later.
+    ++stats_.abandoned;
+    trace_.record(engine_.now(), TraceKind::subtask_abandoned, name(),
+                  unit.label());
+    scheduler_.report_failure(id_, unit.id, engine_.now());
+    VCDL_CHECK(active_ > 0, "SimClient: abandon without active subtask");
     --active_;
-    ++stats_.completed;
-    server_.submit_result(id_, unit, std::move(*shared));
-    schedule_poll(0.0);  // a slot just freed up
+    schedule_poll(config_.poll_interval_s);
+    return;
+  }
+  ++stats_.retries;
+  const SimTime delay = config_.retry.delay(attempt, rng_);
+  const EventId id = engine_.schedule(delay, [this, unit, stage, payload,
+                                              attempt] {
+    if (stage == TransferStage::download) {
+      attempt_download(unit, attempt + 1);
+    } else {
+      attempt_upload(unit, payload, attempt + 1);
+    }
   });
   track(id);
 }

@@ -6,18 +6,28 @@
 // compression), execute the training callback, upload the parameter result,
 // repeat. A preemption kills every in-flight subtask and wipes the local
 // cache; the instance comes back after a replacement delay and resumes
-// polling. Lost subtasks are recovered by scheduler deadlines, never by the
-// client.
+// polling. Lost subtasks are recovered by scheduler deadlines.
+//
+// With a FaultInjector attached, downloads and uploads can drop or stall and
+// completed payloads can be corrupted in transit. A dropped transfer is
+// retried with capped exponential backoff (ClientConfig::retry); after
+// max_attempts the client abandons the subtask through the scheduler's
+// report_failure() fast-fail path, which requeues the replica immediately
+// instead of letting it ride to the deadline. An upload that reaches a
+// crashed grid server counts as a failed attempt and follows the same
+// backoff — by the time it retries, the server may have recovered.
 #pragma once
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <set>
 
 #include "grid/file_server.hpp"
 #include "grid/scheduler.hpp"
 #include "grid/server.hpp"
 #include "sim/availability.hpp"
+#include "sim/faults.hpp"
 #include "sim/instance.hpp"
 #include "sim/network.hpp"
 #include "sim/preemption.hpp"
@@ -45,6 +55,9 @@ struct ClientConfig {
   /// disk survives).
   AvailabilityModel availability;
   ComputeModel compute;            // RAM/threads execution model
+  /// Transfer retry/backoff policy; only exercised when transfers can fail
+  /// (fault injection or a crashed grid server).
+  RetryPolicy retry;
 };
 
 class SimClient {
@@ -59,6 +72,9 @@ class SimClient {
     std::uint64_t downloads = 0;
     std::uint64_t bytes_downloaded = 0;
     std::uint64_t bytes_uploaded = 0;
+    std::uint64_t transfer_failures = 0;  // dropped download/upload attempts
+    std::uint64_t retries = 0;            // backoff retries scheduled
+    std::uint64_t abandoned = 0;          // fast-fail give-ups after max tries
   };
 
   SimClient(ClientId id, InstanceType instance, ClientConfig config,
@@ -66,6 +82,10 @@ class SimClient {
             InstanceType server_instance, FileServer& files,
             Scheduler& scheduler, GridServer& server, TraceLog& trace,
             Rng rng, ExecuteFn execute);
+
+  /// Attaches the run's fault injector (nullptr = fault-free; the default).
+  /// Call before start().
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
 
   /// Registers with the scheduler and schedules the first poll (and the
   /// first preemption, when the instance is preemptible).
@@ -80,17 +100,27 @@ class SimClient {
   const Stats& stats() const { return stats_; }
 
  private:
+  enum class TransferStage { download, upload };
+
   void poll();
   void schedule_poll(SimTime delay);
   void begin_unit(const Workunit& unit);
+  void attempt_download(const Workunit& unit, std::size_t attempt);
   void exec_unit(const Workunit& unit);
   void finish_unit(const Workunit& unit, Blob payload);
+  void attempt_upload(const Workunit& unit, std::shared_ptr<Blob> payload,
+                      std::size_t attempt);
+  /// Backoff-retry or fast-fail abandon after a dropped transfer.
+  void transfer_failed(const Workunit& unit, TransferStage stage,
+                       std::shared_ptr<Blob> payload, std::size_t attempt);
   void preempt();
   void restore();
   void arm_preemption();
   void go_offline();
   void come_online();
   void arm_availability();
+  /// Whether any input actually needs bytes on the wire (cache misses).
+  bool needs_transfer(const Workunit& unit) const;
   /// Simulated download time for the unit's inputs; updates caches.
   SimTime download_time(const Workunit& unit);
   void track(EventId id) { pending_events_.insert(id.seq); }
@@ -110,6 +140,7 @@ class SimClient {
   TraceLog& trace_;
   Rng rng_;
   ExecuteFn execute_;
+  FaultInjector* faults_ = nullptr;
 
   bool up_ = false;
   bool stopped_ = false;

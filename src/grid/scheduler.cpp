@@ -1,6 +1,7 @@
 #include "grid/scheduler.hpp"
 
 #include <algorithm>
+#include <iterator>
 
 #include "common/error.hpp"
 
@@ -51,7 +52,14 @@ std::vector<Workunit> Scheduler::request_work(ClientId client,
     if (out.size() >= max_units) break;
     for (auto it = ready_.begin(); it != ready_.end() && out.size() < max_units;) {
       auto& p = units_.at(*it);
-      if (p.done || p.replicas_left == 0 || p.issued_to.count(client) > 0) {
+      if (p.done || p.replicas_left == 0) {
+        // Retired or exhausted entries are purged, not skipped forever — a
+        // leaked entry would otherwise be re-examined on every request for
+        // the rest of the run.
+        it = ready_.erase(it);
+        continue;
+      }
+      if (p.issued_to.count(client) > 0) {
         ++it;
         continue;
       }
@@ -102,9 +110,75 @@ bool Scheduler::report_result(ClientId client, WorkunitId unit, SimTime now) {
   uit->second.done = true;
   --outstanding_;
   ++stats_.results;
-  // Any queued replicas are no longer needed.
+  // Any queued replicas are no longer needed; drop the unit from the ready
+  // deque too (the retired-entry leak fix).
   uit->second.replicas_left = 0;
+  const auto rit = std::find(ready_.begin(), ready_.end(), unit);
+  if (rit != ready_.end()) ready_.erase(rit);
   return true;
+}
+
+void Scheduler::release_assignment(ClientId client, WorkunitId unit) {
+  const auto it = std::find_if(inflight_.begin(), inflight_.end(),
+                               [&](const Assignment& a) {
+                                 return a.unit == unit && a.client == client;
+                               });
+  // Already expired by a deadline sweep: that path requeued the replica.
+  if (it == inflight_.end()) return;
+  inflight_.erase(it);
+  auto& p = units_.at(unit);
+  if (p.done) return;  // another replica already retired the unit
+  p.issued_to.erase(client);
+  ++p.replicas_left;
+  if (p.replicas_left == 1) push_ready(unit);
+}
+
+void Scheduler::report_failure(ClientId client, WorkunitId unit, SimTime now) {
+  (void)now;
+  VCDL_CHECK(units_.count(unit) > 0, "Scheduler: failure for unknown unit");
+  bump_reliability(client, false);
+  ++stats_.failures;
+  release_assignment(client, unit);
+}
+
+void Scheduler::report_invalid(ClientId client, WorkunitId unit, SimTime now) {
+  (void)now;
+  VCDL_CHECK(units_.count(unit) > 0, "Scheduler: invalid result, unknown unit");
+  bump_reliability(client, false);
+  ++stats_.invalid_results;
+  release_assignment(client, unit);
+}
+
+void Scheduler::reissue_lost(WorkunitId unit) {
+  auto& p = units_.at(unit);
+  if (!p.done) return;  // still pending; deadline recovery will handle it
+  p.done = false;
+  ++outstanding_;
+  ++stats_.reissues;
+  // Keep replica holds only for assignments still actively in flight. The
+  // producer's hold (its assignment was erased when its result arrived) is
+  // stale and would wrongly bar it from re-running the unit — fatal when it
+  // is the only client.
+  for (auto it = p.issued_to.begin(); it != p.issued_to.end();) {
+    const ClientId holder = *it;
+    const bool active = std::any_of(
+        inflight_.begin(), inflight_.end(), [&](const Assignment& a) {
+          return a.unit == unit && a.client == holder;
+        });
+    it = active ? std::next(it) : p.issued_to.erase(it);
+  }
+  // A still-running replica (replication > 1) can retire the unit on its own;
+  // only queue a fresh replica when nobody is computing it.
+  if (p.replicas_left == 0 && p.issued_to.empty()) {
+    p.replicas_left = 1;
+    push_ready(unit);
+  }
+}
+
+void Scheduler::push_ready(WorkunitId unit) {
+  if (std::find(ready_.begin(), ready_.end(), unit) == ready_.end()) {
+    ready_.push_back(unit);
+  }
 }
 
 std::vector<WorkunitId> Scheduler::expire_deadlines(SimTime now) {
@@ -122,7 +196,7 @@ std::vector<WorkunitId> Scheduler::expire_deadlines(SimTime now) {
       // preemption it may be the only machine left.
       p.issued_to.erase(it->client);
       ++p.replicas_left;
-      if (p.replicas_left == 1) ready_.push_back(p.unit.id);
+      if (p.replicas_left == 1) push_ready(p.unit.id);
       expired.push_back(it->unit);
     }
     it = inflight_.erase(it);

@@ -1,8 +1,12 @@
 // Workunit scheduler — the BOINC scheduler role (§II-C, §III-B).
 //
 // Pull model: clients request work, the scheduler hands out ready units.
-// Fault tolerance comes from deadlines — an assignment whose result has not
-// arrived within the unit's timeout is requeued for another client. The
+// Fault tolerance is deadline-driven by default — an assignment whose result
+// has not arrived within the unit's timeout is requeued for another client —
+// with three active fast paths layered on top: clients abandon unreachable
+// transfers (report_failure), the validator rejects corrupted payloads
+// (report_invalid), and a grid-server crash un-retires accepted-but-not-yet-
+// assimilated units (reissue_lost). All three requeue immediately. The
 // scheduler also tracks a per-client reliability score (exponential moving
 // average of assignment outcomes) and implements two BOINC policies:
 //   * sticky-file affinity: prefer giving a unit to a client that already
@@ -30,6 +34,9 @@ class Scheduler {
     std::uint64_t duplicate_results = 0;  // replication extras / late arrivals
     std::uint64_t timeouts = 0;
     std::uint64_t affinity_hits = 0;  // assignment matched a cached sticky file
+    std::uint64_t failures = 0;       // client fast-fail abandonments
+    std::uint64_t invalid_results = 0;  // validator rejections (corruption)
+    std::uint64_t reissues = 0;       // retired units un-retired after a crash
   };
 
   /// Registers a client; must be called before it requests work.
@@ -57,6 +64,21 @@ class Scheduler {
   /// result for the unit (it should be assimilated), false for duplicates.
   bool report_result(ClientId client, WorkunitId unit, SimTime now);
 
+  /// Fast-fail path: the client abandons its assignment (repeated transfer
+  /// failures) — the replica is requeued immediately instead of waiting for
+  /// the deadline, and the client's reliability takes the same hit a timeout
+  /// would have cost it.
+  void report_failure(ClientId client, WorkunitId unit, SimTime now);
+
+  /// The server-side validator rejected this client's uploaded payload
+  /// (corruption). Penalizes reliability and requeues the replica at once.
+  void report_invalid(ClientId client, WorkunitId unit, SimTime now);
+
+  /// Un-retires a unit whose accepted result was lost before assimilation
+  /// (grid-server crash): the unit becomes ready again and counts as
+  /// outstanding. No-op if the unit was never retired.
+  void reissue_lost(WorkunitId unit);
+
   /// Requeues assignments whose deadline has passed; returns the affected
   /// unit ids. Reduces the reliability of the clients that missed.
   std::vector<WorkunitId> expire_deadlines(SimTime now);
@@ -69,6 +91,9 @@ class Scheduler {
   bool all_done() const { return outstanding_ == 0; }
   std::size_t ready_count() const;
   std::size_t inflight_count() const { return inflight_.size(); }
+  /// Raw ready-deque length, retired entries included — regression hook for
+  /// the queue-leak fix (retired ids must be purged, not skipped forever).
+  std::size_t ready_queue_size() const { return ready_.size(); }
 
   double reliability(ClientId id) const;
   const Stats& stats() const { return stats_; }
@@ -93,6 +118,10 @@ class Scheduler {
   };
 
   void bump_reliability(ClientId id, bool success);
+  /// Shared requeue logic for fast-fail / invalid-result / timeout paths:
+  /// drops the (client, unit) assignment and makes the replica issuable again.
+  void release_assignment(ClientId client, WorkunitId unit);
+  void push_ready(WorkunitId unit);
 
   std::map<WorkunitId, PendingUnit> units_;
   std::deque<WorkunitId> ready_;        // units with replicas_left > 0

@@ -13,21 +13,30 @@ GridServer::GridServer(SimEngine& engine, Scheduler& scheduler, TraceLog& trace,
   VCDL_CHECK(validator_ != nullptr, "GridServer: null validator");
 }
 
-void GridServer::submit_result(ClientId client, const Workunit& unit,
+bool GridServer::submit_result(ClientId client, const Workunit& unit,
                                Blob payload) {
+  if (!up_) {
+    ++stats_.rejected_down;
+    return false;
+  }
   ++stats_.received;
   trace_.record(engine_.now(), TraceKind::result_received,
                 "client-" + std::to_string(client), unit.label());
   if (!validator_(payload)) {
     ++stats_.invalid;
-    return;  // invalid result: the deadline will eventually requeue the unit
+    trace_.record(engine_.now(), TraceKind::result_invalid,
+                  "client-" + std::to_string(client), unit.label());
+    // Corruption feeds the reliability EMA and requeues the replica at once
+    // (active recovery) instead of waiting out the deadline.
+    scheduler_.report_invalid(client, unit.id, engine_.now());
+    return true;  // the upload itself succeeded; the payload was rejected
   }
   trace_.record(engine_.now(), TraceKind::validated,
                 "client-" + std::to_string(client), unit.label());
   const bool first = scheduler_.report_result(client, unit.id, engine_.now());
   if (!first) {
     ++stats_.duplicates;
-    return;  // replication extra or post-timeout duplicate
+    return true;  // replication extra or post-timeout duplicate
   }
   ResultEnvelope env;
   env.unit = unit;
@@ -37,6 +46,41 @@ void GridServer::submit_result(ClientId client, const Workunit& unit,
   const std::size_t ps_index = rr_++ % ps_.size();
   ps_[ps_index].queue.push_back(std::move(env));
   maybe_start(ps_index);
+  return true;
+}
+
+void GridServer::crash() {
+  if (!up_) return;
+  up_ = false;
+  ++generation_;
+  ++stats_.crashes;
+  // Accepted-but-unassimilated results die with the server process. Their
+  // units were already retired at the scheduler, so un-retire them — the
+  // alternative is an epoch that never completes.
+  std::size_t lost = 0;
+  for (auto& worker : ps_) {
+    for (const auto& env : worker.queue) {
+      scheduler_.reissue_lost(env.unit.id);
+      ++lost;
+    }
+    worker.queue.clear();
+    if (worker.busy) {
+      scheduler_.reissue_lost(worker.current);
+      worker.busy = false;
+      worker.current = 0;
+      ++lost;
+    }
+  }
+  active_ = 0;
+  stats_.lost_results += lost;
+  trace_.record(engine_.now(), TraceKind::server_crash, "grid-server",
+                std::to_string(lost) + " results lost");
+}
+
+void GridServer::restore() {
+  if (up_) return;
+  up_ = true;
+  trace_.record(engine_.now(), TraceKind::server_recovered, "grid-server");
 }
 
 std::size_t GridServer::queued_results() const {
@@ -50,13 +94,19 @@ void GridServer::maybe_start(std::size_t ps_index) {
   if (worker.busy || worker.queue.empty()) return;
   VCDL_CHECK(backend_ != nullptr, "GridServer: no assimilator backend set");
   worker.busy = true;
+  worker.current = worker.queue.front().unit.id;
   ++active_;
   ResultEnvelope env = std::move(worker.queue.front());
   worker.queue.pop_front();
   const std::string label = env.unit.label();
-  backend_->assimilate(std::move(env), ps_index, [this, ps_index, label] {
+  const std::uint64_t gen = generation_;
+  backend_->assimilate(std::move(env), ps_index, [this, ps_index, label, gen] {
+    // A crash between dispatch and completion already reset this worker;
+    // the stale chain must not double-free the slot.
+    if (gen != generation_) return;
     auto& w = ps_[ps_index];
     w.busy = false;
+    w.current = 0;
     --active_;
     ++stats_.assimilated;
     trace_.record(engine_.now(), TraceKind::assimilated,

@@ -7,6 +7,14 @@
 // result at a time; its service logic lives in an AssimilatorBackend (the
 // core library's VC-ASGD parameter server) which schedules its own store
 // reads/writes in virtual time and signals completion.
+//
+// Crash/restore semantics (fault injection, sim/faults.hpp): crash() takes
+// the server down — uploads are rejected until restore(), queued and
+// in-flight results are lost and their workunits un-retired at the scheduler
+// (Scheduler::reissue_lost), and the crash bumps a generation counter that
+// backends check so stale assimilation chains abort instead of committing
+// pre-crash state. The caller replays the last Checkpointer snapshot before
+// restore() so clients resume from the checkpoint.
 #pragma once
 
 #include <deque>
@@ -30,7 +38,9 @@ class AssimilatorBackend {
   /// Processes one validated result on parameter server `ps_index`. The
   /// backend schedules whatever virtual-time events it needs (store read,
   /// blend, validation, store write) and must invoke `on_done` exactly once
-  /// when the parameter server is free again.
+  /// when the parameter server is free again — unless the server's
+  /// generation changes mid-chain (crash), in which case the chain must
+  /// simply stop (the crash already reset the worker).
   virtual void assimilate(ResultEnvelope env, std::size_t ps_index,
                           std::function<void()> on_done) = 0;
 };
@@ -42,6 +52,9 @@ class GridServer {
     std::uint64_t invalid = 0;
     std::uint64_t duplicates = 0;
     std::uint64_t assimilated = 0;
+    std::uint64_t rejected_down = 0;   // uploads refused while crashed
+    std::uint64_t crashes = 0;
+    std::uint64_t lost_results = 0;    // accepted results dropped by a crash
   };
 
   GridServer(SimEngine& engine, Scheduler& scheduler, TraceLog& trace,
@@ -51,8 +64,23 @@ class GridServer {
   /// construction (it needs a reference to this server for contention info).
   void set_backend(AssimilatorBackend* backend) { backend_ = backend; }
 
-  /// Client upload entry point (at engine.now()).
-  void submit_result(ClientId client, const Workunit& unit, Blob payload);
+  /// Client upload entry point (at engine.now()). Returns false when the
+  /// server is down — the client should treat the upload as failed and back
+  /// off/retry.
+  bool submit_result(ClientId client, const Workunit& unit, Blob payload);
+
+  /// Injected crash: reject uploads, drop queued + in-flight results (their
+  /// units are un-retired at the scheduler) and invalidate running
+  /// assimilation chains via the generation counter.
+  void crash();
+  /// Back up after recovery. The caller restores parameter state (checkpoint
+  /// replay) before calling this.
+  void restore();
+
+  bool is_up() const { return up_; }
+  /// Bumped on every crash; backends snapshot it at assimilate() entry and
+  /// abandon their chain when it moves.
+  std::uint64_t generation() const { return generation_; }
 
   /// Parameter servers currently processing a result — used by backends to
   /// model CPU contention on the shared server instance.
@@ -66,6 +94,7 @@ class GridServer {
   struct PsWorker {
     std::deque<ResultEnvelope> queue;
     bool busy = false;
+    WorkunitId current = 0;  // unit being assimilated (for crash recovery)
   };
 
   void maybe_start(std::size_t ps_index);
@@ -78,6 +107,8 @@ class GridServer {
   std::vector<PsWorker> ps_;
   std::size_t rr_ = 0;       // round-robin dispatch cursor
   std::size_t active_ = 0;
+  bool up_ = true;
+  std::uint64_t generation_ = 0;
   Stats stats_;
 };
 

@@ -1,0 +1,98 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace vcdl {
+
+FaultInjector::FaultInjector(FaultPlan plan, Rng rng)
+    : plan_(std::move(plan)), rng_(rng) {
+  auto check_transfer = [](const TransferFaults& m, const char* site) {
+    VCDL_CHECK(m.drop_prob >= 0.0 && m.drop_prob <= 1.0,
+               std::string("FaultPlan: ") + site + " drop_prob out of [0,1]");
+    VCDL_CHECK(m.stall_prob >= 0.0 && m.stall_prob <= 1.0,
+               std::string("FaultPlan: ") + site + " stall_prob out of [0,1]");
+    VCDL_CHECK(m.stall_factor >= 1.0,
+               std::string("FaultPlan: ") + site + " stall_factor must be >= 1");
+  };
+  check_transfer(plan_.download, "download");
+  check_transfer(plan_.upload, "upload");
+  VCDL_CHECK(plan_.corruption_prob >= 0.0 && plan_.corruption_prob <= 1.0,
+             "FaultPlan: corruption_prob out of [0,1]");
+  VCDL_CHECK(plan_.store.fail_prob >= 0.0 && plan_.store.fail_prob < 1.0,
+             "FaultPlan: store fail_prob must be in [0,1) or retries never end");
+  VCDL_CHECK(plan_.server_recovery_s > 0.0,
+             "FaultPlan: server_recovery_s must be positive");
+  for (const SimTime t : plan_.server_crashes) {
+    VCDL_CHECK(t >= 0.0, "FaultPlan: crash times must be non-negative");
+  }
+}
+
+FaultInjector::TransferOutcome FaultInjector::draw(const TransferFaults& model) {
+  TransferOutcome out;
+  if (!model.any()) return out;
+  if (model.drop_prob > 0.0 && rng_.bernoulli(model.drop_prob)) {
+    out.dropped = true;
+    ++stats_.transfer_drops;
+    return out;
+  }
+  if (model.stall_prob > 0.0 && rng_.bernoulli(model.stall_prob)) {
+    out.time_factor = model.stall_factor;
+    ++stats_.transfer_stalls;
+  }
+  return out;
+}
+
+FaultInjector::TransferOutcome FaultInjector::on_transfer(FaultSite site) {
+  switch (site) {
+    case FaultSite::download:
+      return draw(plan_.download);
+    case FaultSite::upload:
+      return draw(plan_.upload);
+    case FaultSite::store: {
+      TransferOutcome out;
+      if (!plan_.store.any()) return out;
+      if (plan_.store.fail_prob > 0.0 && rng_.bernoulli(plan_.store.fail_prob)) {
+        out.dropped = true;
+        ++stats_.store_failures;
+        return out;
+      }
+      if (plan_.store.slow_prob > 0.0 && rng_.bernoulli(plan_.store.slow_prob)) {
+        out.time_factor = plan_.store.slow_factor;
+        ++stats_.store_slowdowns;
+      }
+      return out;
+    }
+  }
+  return {};
+}
+
+bool FaultInjector::corrupt_result() {
+  if (plan_.corruption_prob <= 0.0) return false;
+  const bool hit = rng_.bernoulli(plan_.corruption_prob);
+  if (hit) ++stats_.corruptions;
+  return hit;
+}
+
+void FaultInjector::corrupt(Blob& payload) {
+  if (payload.empty()) return;
+  // Flip a handful of distinct-ish bytes; any flip breaks the payload's
+  // 64-bit body checksum, so the server-side validator rejects it.
+  auto* bytes = payload.data();
+  const std::size_t n = payload.size();
+  const std::size_t flips = std::min<std::size_t>(4, n);
+  for (std::size_t i = 0; i < flips; ++i) {
+    bytes[rng_.uniform_index(n)] ^= static_cast<std::uint8_t>(0x80 >> i);
+  }
+}
+
+SimTime RetryPolicy::delay(std::size_t attempt, Rng& rng) const {
+  const double factor = std::pow(2.0, static_cast<double>(attempt));
+  const SimTime capped = std::min(max_backoff_s, base_backoff_s * factor);
+  const double spread = jitter > 0.0 ? 1.0 + jitter * rng.uniform() : 1.0;
+  return capped * spread;
+}
+
+}  // namespace vcdl

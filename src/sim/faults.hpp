@@ -1,0 +1,124 @@
+// Deterministic fault injection — the unreliability testbed (§II, §III-B).
+//
+// The paper's claim is that a VC-like platform stays productive on unreliable
+// machines, yet the seed simulator could only fail one way: client
+// preemption. This subsystem adds the rest of the failure surface BOINC
+// treats as first-class (Anderson 2018): transfer drops and stalls, result
+// payload corruption, grid-server crashes, and parameter-store outages /
+// latency spikes. All randomness flows through one `Rng` stream owned by the
+// injector, so a chaos run is a pure function of its seed — and a *disabled*
+// injector draws nothing, leaving fault-free runs bit-identical to builds
+// that never heard of this file.
+//
+// The injector only decides *what* fails; recovery is the consumers' job:
+//   * SimClient retries failed transfers with capped exponential backoff and
+//     abandons the subtask via Scheduler::report_failure() after max_attempts
+//     (fast-fail requeue instead of waiting out the deadline);
+//   * GridServer::crash()/restore() drops un-assimilated results back into
+//     the ready queue and replays the last Checkpointer snapshot;
+//   * the result validator catches corrupted payloads, which feed the
+//     scheduler's reliability EMA through Scheduler::report_invalid().
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/blob.hpp"
+#include "common/rng.hpp"
+#include "sim/engine.hpp"
+
+namespace vcdl {
+
+/// Where a fault is injected; each site has an independent fault process.
+enum class FaultSite : std::uint8_t { download, upload, store };
+
+/// Per-transfer fault process for one site (download or upload).
+struct TransferFaults {
+  double drop_prob = 0.0;    // transfer fails outright; caller backs off
+  double stall_prob = 0.0;   // transfer completes but takes stall_factor longer
+  double stall_factor = 8.0;
+
+  bool any() const { return drop_prob > 0.0 || stall_prob > 0.0; }
+};
+
+/// Parameter-store fault process (outage + latency spikes).
+struct StoreFaults {
+  double fail_prob = 0.0;    // operation rejected; the PS backs off and retries
+  double slow_prob = 0.0;    // operation succeeds at slow_factor the latency
+  double slow_factor = 10.0;
+
+  bool any() const { return fail_prob > 0.0 || slow_prob > 0.0; }
+};
+
+/// Complete fault schedule for one run. All-zero (the default) means no
+/// faults are ever injected and no Rng draws happen.
+struct FaultPlan {
+  TransferFaults download;
+  TransferFaults upload;
+  /// Probability an uploaded result payload is corrupted in transit (caught
+  /// by the server-side validator's checksum).
+  double corruption_prob = 0.0;
+  /// Absolute virtual times at which the grid server crashes; each crash is
+  /// followed by a restore (with checkpoint replay) after server_recovery_s.
+  std::vector<SimTime> server_crashes;
+  SimTime server_recovery_s = 60.0;
+  StoreFaults store;
+
+  bool any() const {
+    return download.any() || upload.any() || corruption_prob > 0.0 ||
+           !server_crashes.empty() || store.any();
+  }
+};
+
+/// Draws fault outcomes from the plan. One instance is shared by every
+/// component in a run; draw order follows deterministic event order, so runs
+/// replay exactly.
+class FaultInjector {
+ public:
+  struct Stats {
+    std::uint64_t transfer_drops = 0;
+    std::uint64_t transfer_stalls = 0;
+    std::uint64_t corruptions = 0;
+    std::uint64_t store_failures = 0;
+    std::uint64_t store_slowdowns = 0;
+  };
+
+  struct TransferOutcome {
+    bool dropped = false;
+    double time_factor = 1.0;  // stall multiplier on the transfer duration
+  };
+
+  FaultInjector(FaultPlan plan, Rng rng);
+
+  /// One draw per attempted transfer (or store operation for FaultSite::store).
+  TransferOutcome on_transfer(FaultSite site);
+  /// One draw per completed subtask payload before upload.
+  bool corrupt_result();
+  /// Garbles `payload` in place so a checksum validator rejects it.
+  void corrupt(Blob& payload);
+
+  const FaultPlan& plan() const { return plan_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  TransferOutcome draw(const TransferFaults& model);
+
+  FaultPlan plan_;
+  Rng rng_;
+  Stats stats_;
+};
+
+/// Capped exponential backoff with jitter — the client-side retry policy for
+/// failed downloads/uploads. After max_attempts the client abandons the
+/// subtask (Scheduler::report_failure fast-fail path).
+struct RetryPolicy {
+  std::size_t max_attempts = 4;  // total tries per transfer before giving up
+  SimTime base_backoff_s = 5.0;
+  SimTime max_backoff_s = 120.0;
+  double jitter = 0.5;           // uniform multiplier in [1, 1 + jitter]
+
+  /// Delay before retry number `attempt + 1` (attempt is 0-based).
+  SimTime delay(std::size_t attempt, Rng& rng) const;
+};
+
+}  // namespace vcdl

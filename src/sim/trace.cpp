@@ -18,6 +18,14 @@ const char* trace_kind_name(TraceKind kind) {
     case TraceKind::instance_up: return "instance_up";
     case TraceKind::epoch_done: return "epoch_done";
     case TraceKind::job_done: return "job_done";
+    case TraceKind::transfer_failed: return "transfer_failed";
+    case TraceKind::subtask_abandoned: return "subtask_abandoned";
+    case TraceKind::result_invalid: return "result_invalid";
+    case TraceKind::server_crash: return "server_crash";
+    case TraceKind::server_recovered: return "server_recovered";
+    case TraceKind::checkpoint_saved: return "checkpoint_saved";
+    case TraceKind::checkpoint_restored: return "checkpoint_restored";
+    case TraceKind::store_fault: return "store_fault";
   }
   return "?";
 }

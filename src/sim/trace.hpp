@@ -29,6 +29,15 @@ enum class TraceKind : std::uint8_t {
   instance_up,
   epoch_done,
   job_done,
+  // Fault injection & active recovery (sim/faults.hpp).
+  transfer_failed,      // injected download/upload drop (client will back off)
+  subtask_abandoned,    // client gave up after max retries → fast-fail requeue
+  result_invalid,       // validator rejected a payload (e.g. corruption)
+  server_crash,         // grid server went down; queued results lost
+  server_recovered,     // grid server back up after checkpoint replay
+  checkpoint_saved,     // parameter snapshot taken
+  checkpoint_restored,  // snapshot replayed into store + parameter file
+  store_fault,          // parameter-store op failed or spiked; PS backs off
 };
 
 const char* trace_kind_name(TraceKind kind);

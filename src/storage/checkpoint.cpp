@@ -1,0 +1,28 @@
+#include "storage/checkpoint.hpp"
+
+#include "common/error.hpp"
+
+namespace vcdl {
+
+Checkpointer::Checkpointer(KvStore& store, std::string key, Republish republish)
+    : store_(store), key_(std::move(key)), republish_(std::move(republish)) {
+  VCDL_CHECK(!key_.empty(), "Checkpointer: empty key");
+  VCDL_CHECK(republish_ != nullptr, "Checkpointer: null republish hook");
+}
+
+bool Checkpointer::snapshot() {
+  const auto current = store_.get(key_);
+  if (!current.has_value()) return false;
+  snap_ = current->value;
+  ++stats_.snapshots;
+  return true;
+}
+
+bool Checkpointer::restore() {
+  if (!snap_.has_value()) return false;
+  republish_(*snap_);
+  ++stats_.restores;
+  return true;
+}
+
+}  // namespace vcdl

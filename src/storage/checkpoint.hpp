@@ -1,0 +1,56 @@
+// Parameter checkpointing for grid-server crash recovery (fault injection).
+//
+// The paper's platform assumes the server stack never dies; the chaos
+// testbed (sim/faults.hpp) removes that assumption. The Checkpointer
+// periodically snapshots the authoritative parameter value from the KvStore;
+// after a GridServer crash the driver replays the last snapshot through a
+// caller-supplied republish hook (store put + parameter-file publish +
+// in-memory published copy), so clients resume training from the last
+// checkpoint rather than from scratch. Updates assimilated after the last
+// snapshot are lost — exactly the rewind a real parameter-store restart from
+// backup exhibits.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "common/blob.hpp"
+#include "storage/kvstore.hpp"
+
+namespace vcdl {
+
+class Checkpointer {
+ public:
+  struct Stats {
+    std::uint64_t snapshots = 0;
+    std::uint64_t restores = 0;
+  };
+
+  /// `republish` re-installs a snapshot as the authoritative parameter state
+  /// (typically VcAsgdAssimilator::publish_initial: store put + file-server
+  /// publish + published-copy reset).
+  using Republish = std::function<void(const Blob&)>;
+
+  Checkpointer(KvStore& store, std::string key, Republish republish);
+
+  /// Copies the current store value under `key`; false when the key is
+  /// missing (nothing published yet).
+  bool snapshot();
+
+  /// Replays the last snapshot through the republish hook; false when no
+  /// snapshot has been taken yet.
+  bool restore();
+
+  bool has_snapshot() const { return snap_.has_value(); }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  KvStore& store_;
+  std::string key_;
+  Republish republish_;
+  std::optional<Blob> snap_;
+  Stats stats_;
+};
+
+}  // namespace vcdl

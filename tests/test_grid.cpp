@@ -199,6 +199,141 @@ TEST(Scheduler, ReliabilityGateLimitsFlakyClients) {
   (void)s.request_work(0, 4, 200.0);
 }
 
+// --- Active-recovery fast paths ----------------------------------------------
+
+TEST(Scheduler, ReadyQueueDropsRetiredReplicatedUnits) {
+  Scheduler s;
+  s.register_client(0);
+  for (WorkunitId id = 1; id <= 16; ++id) {
+    s.add_unit(make_unit(id, 0, 100.0, /*replication=*/2));
+  }
+  // One replica of each unit issued; the second replica of every unit stays
+  // queued when the first result retires it.
+  (void)s.request_work(0, 16, 0.0);
+  EXPECT_EQ(s.ready_queue_size(), 16u);
+  for (WorkunitId id = 1; id <= 16; ++id) s.report_result(0, id, 1.0);
+  EXPECT_TRUE(s.all_done());
+  // Leak regression: retired ids used to sit in the ready deque forever and
+  // get re-examined on every subsequent request.
+  EXPECT_EQ(s.ready_queue_size(), 0u);
+}
+
+TEST(Scheduler, ReportFailureRequeuesReplicaImmediately) {
+  Scheduler s;
+  s.register_client(0);
+  s.register_client(1);
+  s.add_unit(make_unit(1, 0, 1000.0));
+  (void)s.request_work(0, 1, 0.0);
+  const double before = s.reliability(0);
+  s.report_failure(0, 1, 5.0);
+  EXPECT_EQ(s.inflight_count(), 0u);
+  EXPECT_EQ(s.stats().failures, 1u);
+  EXPECT_LT(s.reliability(0), before);  // same hit a timeout would cost
+  // Requeued at once — no waiting out the 1000 s deadline.
+  const auto got = s.request_work(1, 1, 6.0);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].id, 1u);
+  EXPECT_EQ(s.stats().timeouts, 0u);
+}
+
+TEST(Scheduler, ReportFailureAfterExpiryIsHarmless) {
+  Scheduler s;
+  s.register_client(0);
+  s.add_unit(make_unit(1, 0, 50.0));
+  (void)s.request_work(0, 1, 0.0);
+  (void)s.expire_deadlines(60.0);  // sweep wins the race
+  s.report_failure(0, 1, 61.0);    // late abandon: no double-requeue
+  const auto got = s.request_work(0, 1, 62.0);
+  ASSERT_EQ(got.size(), 1u);
+  s.report_result(0, 1, 63.0);
+  EXPECT_TRUE(s.all_done());
+}
+
+TEST(Scheduler, ReportInvalidPenalizesAndRequeues) {
+  Scheduler s;
+  s.register_client(0);
+  s.add_unit(make_unit(1, 0, 1000.0));
+  (void)s.request_work(0, 1, 0.0);
+  const double before = s.reliability(0);
+  s.report_invalid(0, 1, 5.0);
+  EXPECT_EQ(s.stats().invalid_results, 1u);
+  EXPECT_LT(s.reliability(0), before);
+  EXPECT_FALSE(s.all_done());
+  // The same client may retry (it is the only machine).
+  const auto got = s.request_work(0, 1, 6.0);
+  ASSERT_EQ(got.size(), 1u);
+  s.report_result(0, 1, 7.0);
+  EXPECT_TRUE(s.all_done());
+}
+
+TEST(Scheduler, ReissueLostUnretiresUnit) {
+  Scheduler s;
+  s.register_client(0);
+  s.add_unit(make_unit(1));
+  s.add_unit(make_unit(2));
+  (void)s.request_work(0, 2, 0.0);
+  s.report_result(0, 1, 1.0);
+  s.reissue_lost(1);
+  EXPECT_FALSE(s.all_done());
+  EXPECT_EQ(s.stats().reissues, 1u);
+  // Reissuing a unit that was never retired is a no-op (deadline recovery
+  // owns pending units).
+  s.reissue_lost(2);
+  EXPECT_EQ(s.stats().reissues, 1u);
+  // The producing client itself can pick the unit back up — essential when
+  // it is the only client in the fleet.
+  const auto got = s.request_work(0, 1, 2.0);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].id, 1u);
+  s.report_result(0, 1, 3.0);
+  s.report_result(0, 2, 3.5);
+  EXPECT_TRUE(s.all_done());
+}
+
+TEST(Scheduler, LateResultAfterExpiryIsDuplicateAndStillCredits) {
+  Scheduler s;
+  s.register_client(0);
+  s.register_client(1);
+  s.add_unit(make_unit(1, 0, 50.0));
+  (void)s.request_work(0, 1, 0.0);
+  (void)s.expire_deadlines(60.0);  // client 0 penalized for the miss
+  const double after_timeout = s.reliability(0);
+  (void)s.request_work(1, 1, 61.0);
+  EXPECT_TRUE(s.report_result(1, 1, 70.0));   // replacement retires the unit
+  EXPECT_FALSE(s.report_result(0, 1, 80.0));  // straggler: duplicate
+  EXPECT_EQ(s.stats().duplicate_results, 1u);
+  EXPECT_EQ(s.stats().results, 1u);
+  EXPECT_TRUE(s.all_done());
+  // The late upload still counts toward reliability — the machine is slow,
+  // not lost, and it should be able to earn trust back.
+  EXPECT_GT(s.reliability(0), after_timeout);
+}
+
+TEST(Scheduler, ReliabilityGateEarnBackAfterFailures) {
+  Scheduler s;
+  s.set_reliability_gate(0.4);
+  s.register_client(0);
+  for (WorkunitId id = 1; id <= 8; ++id) s.add_unit(make_unit(id, 0, 100.0));
+  auto got = s.request_work(0, 4, 0.0);
+  ASSERT_EQ(got.size(), 4u);
+  for (const auto& wu : got) s.report_failure(0, wu.id, 1.0);
+  EXPECT_EQ(s.stats().failures, 4u);
+  EXPECT_LT(s.reliability(0), 0.4);
+  // Below the gate: one unit per request (the abandoned units are issuable
+  // again immediately).
+  got = s.request_work(0, 4, 2.0);
+  ASSERT_EQ(got.size(), 1u);
+  s.report_result(0, got[0].id, 3.0);
+  while (s.reliability(0) < 0.4) {
+    got = s.request_work(0, 1, 4.0);
+    ASSERT_EQ(got.size(), 1u);
+    s.report_result(0, got[0].id, 5.0);
+  }
+  // Trust earned back: full grants resume.
+  got = s.request_work(0, 4, 6.0);
+  EXPECT_EQ(got.size(), 4u);
+}
+
 TEST(Scheduler, NextDeadlineReported) {
   Scheduler s;
   s.register_client(0);
@@ -323,7 +458,10 @@ TEST(GridIntegration, InvalidResultIsDroppedAndRecovered) {
   EXPECT_TRUE(h.scheduler.all_done());
   EXPECT_EQ(h.server.stats().invalid, 1u);
   EXPECT_EQ(h.server.stats().assimilated, 1u);
-  EXPECT_GE(h.scheduler.stats().timeouts, 1u);
+  // The invalid result is requeued immediately via report_invalid — recovery
+  // no longer has to wait for the deadline sweep.
+  EXPECT_EQ(h.scheduler.stats().invalid_results, 1u);
+  EXPECT_EQ(h.scheduler.stats().timeouts, 0u);
 }
 
 TEST(GridIntegration, PreemptionLosesInflightThenRecovers) {
@@ -364,6 +502,78 @@ TEST(GridIntegration, RoundRobinAcrossParameterServers) {
   h.engine.run();
   EXPECT_EQ(h.server.stats().assimilated, 6u);
   EXPECT_EQ(h.server.parameter_servers(), 2u);
+}
+
+TEST(GridIntegration, ReplicatedUnitSurvivesPreemptedHolder) {
+  Harness h;
+  Workunit wu = h.unit(1, 0, /*deadline=*/400.0);
+  wu.replication = 2;
+  h.scheduler.add_unit(wu);
+  // Replica holder 0: long-running and violently preemptible — it will lose
+  // its copy. Replica holder 1: quick and steady.
+  ClientConfig flaky_cfg;
+  flaky_cfg.preemption.interruptions_per_hour = 600.0;  // MTBF ~6 s
+  flaky_cfg.preemption.downtime_s = 3600.0;             // stays down
+  auto flaky = h.make_client(0, flaky_cfg, ok_exec(5000.0));
+  auto steady = h.make_client(1, ClientConfig{}, ok_exec(10.0));
+  flaky->start();
+  steady->start();
+  h.engine.run_until(sim_hours(1.0));
+  flaky->stop();
+  steady->stop();
+  h.engine.run();
+  // The surviving replica retires the unit; nothing waits for the deadline.
+  EXPECT_TRUE(h.scheduler.all_done());
+  EXPECT_EQ(h.server.stats().assimilated, 1u);
+  EXPECT_EQ(h.backend.seen.size(), 1u);
+  EXPECT_EQ(h.scheduler.stats().results, 1u);
+}
+
+TEST(GridServer, CrashDropsQueuedResultsAndRecovers) {
+  Harness h;
+  h.scheduler.register_client(0);
+  for (WorkunitId id = 1; id <= 4; ++id) h.scheduler.add_unit(h.unit(id, 0));
+  const auto units = h.scheduler.request_work(0, 4, 0.0);
+  ASSERT_EQ(units.size(), 4u);
+  for (const auto& wu : units) {
+    EXPECT_TRUE(h.server.submit_result(0, wu, payload_of(8)));
+  }
+  // Two PS workers busy, two results queued, nothing assimilated yet.
+  EXPECT_EQ(h.server.active_assimilations(), 2u);
+  EXPECT_EQ(h.server.queued_results(), 2u);
+  EXPECT_TRUE(h.scheduler.all_done());
+
+  h.server.crash();
+  EXPECT_FALSE(h.server.is_up());
+  EXPECT_EQ(h.server.generation(), 1u);
+  EXPECT_EQ(h.server.stats().lost_results, 4u);
+  EXPECT_EQ(h.server.queued_results(), 0u);
+  EXPECT_EQ(h.server.active_assimilations(), 0u);
+  // All four accepted-but-unassimilated units are un-retired.
+  EXPECT_EQ(h.scheduler.stats().reissues, 4u);
+  EXPECT_FALSE(h.scheduler.all_done());
+  // Uploads are rejected while down.
+  EXPECT_FALSE(h.server.submit_result(0, h.unit(99, 0), payload_of(8)));
+  EXPECT_EQ(h.server.stats().rejected_down, 1u);
+  // Draining the engine fires the stale backend completions; the generation
+  // guard must stop them from freeing slots or counting assimilations.
+  h.engine.run();
+  EXPECT_EQ(h.server.stats().assimilated, 0u);
+  EXPECT_EQ(h.server.active_assimilations(), 0u);
+
+  h.server.restore();
+  EXPECT_TRUE(h.server.is_up());
+  // The reissued units run again — the original producer included.
+  const auto again = h.scheduler.request_work(0, 4, 100.0);
+  ASSERT_EQ(again.size(), 4u);
+  for (const auto& wu : again) {
+    EXPECT_TRUE(h.server.submit_result(0, wu, payload_of(8)));
+  }
+  h.engine.run();
+  EXPECT_TRUE(h.scheduler.all_done());
+  EXPECT_EQ(h.server.stats().assimilated, 4u);
+  EXPECT_EQ(h.trace.count(TraceKind::server_crash), 1u);
+  EXPECT_EQ(h.trace.count(TraceKind::server_recovered), 1u);
 }
 
 TEST(GridServer, NoBackendIsAnError) {
