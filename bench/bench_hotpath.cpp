@@ -1,0 +1,135 @@
+// Hot-path throughput — training steps/sec vs worker-pool width.
+//
+// Measures the ExecContext-threaded forward/backward path (DESIGN.md
+// "Execution & threading model") on a CIFAR-scale resnet_lite, sweeping the
+// per-client pool over {1, 2, 4, 8} threads. Thread count 1 uses no pool at
+// all — it is the serial bit-exact reference path. Writes BENCH_hotpath.json
+// (stable schema, consumed by EXPERIMENTS.md) next to the working directory.
+//
+// Overrides: batch=32 steps=20 warmup=3 base_filters=16 blocks=2 image=32
+//
+// Note: speedups are only observable when the host actually has spare cores;
+// the JSON records hardware_threads so readers can judge the numbers.
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/thread_pool.hpp"
+#include "nn/loss.hpp"
+#include "nn/model_zoo.hpp"
+#include "nn/optimizer.hpp"
+#include "tensor/exec_context.hpp"
+
+namespace {
+
+struct ThreadResult {
+  std::size_t threads = 1;
+  double steps_per_sec = 0.0;
+  double speedup_vs_1 = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vcdl;
+  const Config cfg = Config::from_args(argc, argv);
+  bench::print_header("Hot-path throughput — steps/sec vs pool width",
+                      "execution-context layer (not a paper figure)");
+
+  const auto batch = static_cast<std::size_t>(cfg.get_int("batch", 32));
+  const auto steps = static_cast<std::size_t>(cfg.get_int("steps", 20));
+  const auto warmup = static_cast<std::size_t>(cfg.get_int("warmup", 3));
+  const auto image = static_cast<std::size_t>(cfg.get_int("image", 32));
+
+  ResNetLiteSpec spec;
+  spec.channels = 3;
+  spec.height = image;
+  spec.width = image;
+  spec.base_filters =
+      static_cast<std::size_t>(cfg.get_int("base_filters", 16));
+  spec.blocks = static_cast<std::size_t>(cfg.get_int("blocks", 2));
+
+  // Fixed input batch: contents don't matter for throughput, determinism does.
+  Rng rng(7);
+  const Tensor x =
+      Tensor::randn(Shape{batch, spec.channels, spec.height, spec.width}, rng);
+  std::vector<std::uint16_t> labels(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    labels[i] = static_cast<std::uint16_t>(i % spec.classes);
+  }
+
+  const std::vector<std::size_t> widths = {1, 2, 4, 8};
+  std::vector<ThreadResult> results;
+  for (const std::size_t threads : widths) {
+    Model model = make_resnet_lite(spec, /*seed=*/42);
+    auto optimizer = make_optimizer("sgd", 0.01);
+    std::unique_ptr<ThreadPool> pool;
+    if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+    ExecContext exec;
+    exec.pool = pool.get();
+
+    auto step = [&] {
+      const Tensor logits = model.forward(x, exec, /*training=*/true);
+      const LossResult loss = softmax_cross_entropy(logits, labels);
+      model.zero_grads();
+      model.backward(loss.grad, exec);
+      optimizer->step(model);
+    };
+    for (std::size_t i = 0; i < warmup; ++i) step();
+
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < steps; ++i) step();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+
+    ThreadResult r;
+    r.threads = threads;
+    r.steps_per_sec = static_cast<double>(steps) / secs;
+    results.push_back(r);
+  }
+  for (ThreadResult& r : results) {
+    r.speedup_vs_1 = r.steps_per_sec / results.front().steps_per_sec;
+  }
+
+  Table table({"threads", "steps/sec", "speedup vs 1"});
+  for (const ThreadResult& r : results) {
+    table.add_row({Table::fmt(r.threads), Table::fmt(r.steps_per_sec, 3),
+                   Table::fmt(r.speedup_vs_1, 2)});
+  }
+  table.print(std::cout);
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::cout << "\nhardware_threads=" << hw
+            << (hw < 4 ? "  (speedup capped by host core count)" : "") << "\n";
+
+  // Stable schema: schema_version bumps on any key change.
+  const std::string json_path = cfg.get_string("out", "BENCH_hotpath.json");
+  std::ofstream out(json_path);
+  out << "{\n"
+      << "  \"schema_version\": 1,\n"
+      << "  \"bench\": \"hotpath\",\n"
+      << "  \"model\": \"resnet_lite\",\n"
+      << "  \"image\": " << image << ",\n"
+      << "  \"base_filters\": " << spec.base_filters << ",\n"
+      << "  \"blocks\": " << spec.blocks << ",\n"
+      << "  \"batch\": " << batch << ",\n"
+      << "  \"steps\": " << steps << ",\n"
+      << "  \"warmup\": " << warmup << ",\n"
+      << "  \"hardware_threads\": " << hw << ",\n"
+      << "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ThreadResult& r = results[i];
+    out << "    {\"threads\": " << r.threads
+        << ", \"steps_per_sec\": " << r.steps_per_sec
+        << ", \"speedup_vs_1\": " << r.speedup_vs_1 << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote " << json_path << "\n";
+  return 0;
+}

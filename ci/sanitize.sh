@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# Build the project with ASan+UBSan and run the tier-1 test suite under them.
+# Build the project with ASan+UBSan and run the tier-1 test suite under them,
+# then rebuild with TSan and run the threading-sensitive suites (the worker
+# pool, the GEMM kernels, and the ExecContext forward/backward paths).
 #
-# Usage: ci/sanitize.sh [extra ctest args...]
-# Uses a dedicated build tree (build-sanitize/) so the regular build stays
-# untouched. TSan is available separately: -DVCDL_SANITIZE=thread.
+# Usage: ci/sanitize.sh [extra ctest args...]   (extra args apply to the
+# ASan/UBSan stage only). Set VCDL_SKIP_TSAN=1 to run just the first stage.
+# Dedicated build trees (build-sanitize/, build-tsan/) keep the regular
+# build untouched.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -22,3 +25,25 @@ export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" "$@"
+
+if [[ "${VCDL_SKIP_TSAN:-0}" == "1" ]]; then
+  echo "VCDL_SKIP_TSAN=1 — skipping the TSan stage."
+  exit 0
+fi
+
+# --- TSan stage ------------------------------------------------------------
+# TSan is incompatible with ASan, so it needs its own tree. Only the suites
+# that exercise real concurrency are worth the ~10x slowdown.
+TSAN_DIR=build-tsan
+
+cmake -B "${TSAN_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DVCDL_SANITIZE=thread \
+  -DVCDL_BUILD_BENCHES=OFF \
+  -DVCDL_BUILD_EXAMPLES=OFF
+cmake --build "${TSAN_DIR}" -j "$(nproc)"
+
+export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+
+ctest --test-dir "${TSAN_DIR}" --output-on-failure -j "$(nproc)" \
+  -R 'test_thread_pool|test_tensor|test_nn_layers|test_nn_model|test_exec_threading'

@@ -5,6 +5,11 @@
 #include "common/error.hpp"
 
 namespace vcdl {
+namespace {
+// Which pool (if any) the current thread is a worker of. Set once per worker
+// at startup; read by on_worker_thread() to detect nested parallel_for calls.
+thread_local const ThreadPool* t_worker_pool = nullptr;
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -39,14 +44,26 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   return fut;
 }
 
+bool ThreadPool::on_worker_thread() const { return t_worker_pool == this; }
+
 void ThreadPool::parallel_for(
     std::size_t begin, std::size_t end,
     const std::function<void(std::size_t, std::size_t)>& fn) {
+  parallel_for_indexed(
+      begin, end,
+      [&fn](std::size_t, std::size_t lo, std::size_t hi) { fn(lo, hi); });
+}
+
+void ThreadPool::parallel_for_indexed(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
-  const std::size_t chunks = std::min(n, std::max<std::size_t>(1, size()));
-  if (chunks == 1) {
-    fn(begin, end);
+  const std::size_t chunks = max_chunks(n);
+  // Single chunk, or a nested call from one of our own workers: run inline.
+  // Queued nested chunks would sit behind the blocked caller — deadlock.
+  if (chunks == 1 || on_worker_thread()) {
+    fn(0, begin, end);
     return;
   }
   const std::size_t chunk = (n + chunks - 1) / chunks;
@@ -56,7 +73,7 @@ void ThreadPool::parallel_for(
     const std::size_t lo = begin + c * chunk;
     const std::size_t hi = std::min(end, lo + chunk);
     if (lo >= hi) break;
-    futures.push_back(submit([&fn, lo, hi] { fn(lo, hi); }));
+    futures.push_back(submit([&fn, c, lo, hi] { fn(c, lo, hi); }));
   }
   for (auto& f : futures) f.get();  // rethrows the first failure
 }
@@ -67,6 +84,7 @@ ThreadPool& ThreadPool::global() {
 }
 
 void ThreadPool::worker_loop() {
+  t_worker_pool = this;
   for (;;) {
     std::packaged_task<void()> task;
     {

@@ -6,6 +6,7 @@
 // (thousands of FLOPs each), and keeps the implementation obviously correct.
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -31,11 +32,32 @@ class ThreadPool {
   /// Enqueue a task; returns a future for its completion.
   std::future<void> submit(std::function<void()> task);
 
+  /// True when the calling thread is one of this pool's workers. parallel_for
+  /// uses this to run nested invocations inline: a worker that blocked on
+  /// nested chunks would deadlock, because those chunks sit in the queue
+  /// behind the very task that is waiting for them.
+  bool on_worker_thread() const;
+
   /// Runs fn(i) for i in [begin, end), splitting the range into roughly
   /// `size()` contiguous chunks. Blocks until all chunks finish. Exceptions
-  /// from fn propagate to the caller (first one wins).
+  /// from fn propagate to the caller (first one wins). Called from a worker
+  /// of this pool, the whole range runs inline on the caller (see above).
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// parallel_for variant that also hands the body its chunk index
+  /// (0 <= chunk < max_chunks(end - begin)), letting callers keep per-chunk
+  /// scratch buffers without sharing or locks. Chunk boundaries are a pure
+  /// function of the range and pool size, so results that reduce per-chunk
+  /// partials in index order are deterministic for a given thread count.
+  void parallel_for_indexed(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+  /// Number of chunks parallel_for* splits an n-element range into.
+  std::size_t max_chunks(std::size_t n) const {
+    return std::min(n, std::max<std::size_t>(1, size()));
+  }
 
   /// Process-wide shared pool (lazily constructed, sized to the machine).
   static ThreadPool& global();

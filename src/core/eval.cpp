@@ -8,13 +8,14 @@
 
 namespace vcdl {
 
-double evaluate_accuracy(Model& model, const Dataset& ds,
+double evaluate_accuracy(Model& model, const Dataset& ds, ExecContext& ctx,
                          std::size_t batch_size) {
   VCDL_CHECK(!ds.empty(), "evaluate_accuracy: empty dataset");
   std::size_t correct_weighted = 0;
   for (std::size_t first = 0; first < ds.size(); first += batch_size) {
     const std::size_t count = std::min(batch_size, ds.size() - first);
-    const Tensor logits = model.forward(ds.batch_tensor(first, count), false);
+    const Tensor logits =
+        model.forward(ds.batch_tensor(first, count), ctx, false);
     correct_weighted += static_cast<std::size_t>(
         accuracy(logits, ds.batch_labels(first, count)) *
             static_cast<double>(count) + 0.5);
@@ -22,11 +23,16 @@ double evaluate_accuracy(Model& model, const Dataset& ds,
   return static_cast<double>(correct_weighted) / static_cast<double>(ds.size());
 }
 
+double evaluate_accuracy(Model& model, const Dataset& ds,
+                         std::size_t batch_size) {
+  return evaluate_accuracy(model, ds, serial_exec_context(), batch_size);
+}
+
 double evaluate_accuracy_subsample(Model& model, const Dataset& ds,
                                    std::size_t subsample, Rng& rng,
-                                   std::size_t batch_size) {
+                                   ExecContext& ctx, std::size_t batch_size) {
   if (subsample == 0 || subsample >= ds.size()) {
-    return evaluate_accuracy(model, ds, batch_size);
+    return evaluate_accuracy(model, ds, ctx, batch_size);
   }
   std::vector<std::size_t> indices(ds.size());
   std::iota(indices.begin(), indices.end(), std::size_t{0});
@@ -40,7 +46,7 @@ double evaluate_accuracy_subsample(Model& model, const Dataset& ds,
   for (std::size_t first = 0; first < indices.size(); first += batch_size) {
     const std::size_t count = std::min(batch_size, indices.size() - first);
     std::span<const std::size_t> slice(indices.data() + first, count);
-    const Tensor logits = model.forward(ds.gather_tensor(slice), false);
+    const Tensor logits = model.forward(ds.gather_tensor(slice), ctx, false);
     for (std::size_t b = 0; b < count; ++b) {
       const auto row = logits.flat().subspan(b * ds.classes(), ds.classes());
       if (ops::argmax(row) == ds.label(slice[b])) ++correct;
@@ -49,16 +55,29 @@ double evaluate_accuracy_subsample(Model& model, const Dataset& ds,
   return static_cast<double>(correct) / static_cast<double>(subsample);
 }
 
-double evaluate_loss(Model& model, const Dataset& ds, std::size_t batch_size) {
+double evaluate_accuracy_subsample(Model& model, const Dataset& ds,
+                                   std::size_t subsample, Rng& rng,
+                                   std::size_t batch_size) {
+  return evaluate_accuracy_subsample(model, ds, subsample, rng,
+                                     serial_exec_context(), batch_size);
+}
+
+double evaluate_loss(Model& model, const Dataset& ds, ExecContext& ctx,
+                     std::size_t batch_size) {
   VCDL_CHECK(!ds.empty(), "evaluate_loss: empty dataset");
   double total = 0.0;
   for (std::size_t first = 0; first < ds.size(); first += batch_size) {
     const std::size_t count = std::min(batch_size, ds.size() - first);
-    const Tensor logits = model.forward(ds.batch_tensor(first, count), false);
+    const Tensor logits =
+        model.forward(ds.batch_tensor(first, count), ctx, false);
     const auto res = softmax_cross_entropy(logits, ds.batch_labels(first, count));
     total += res.loss * static_cast<double>(count);
   }
   return total / static_cast<double>(ds.size());
+}
+
+double evaluate_loss(Model& model, const Dataset& ds, std::size_t batch_size) {
+  return evaluate_loss(model, ds, serial_exec_context(), batch_size);
 }
 
 }  // namespace vcdl

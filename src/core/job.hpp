@@ -43,6 +43,11 @@ struct ExperimentSpec {
   // Client-side local training.
   std::size_t local_epochs = 4;       // passes over the shard per subtask
   std::size_t batch_size = 10;
+  /// Worker threads splitting each forward/backward (per-model parallelism;
+  /// the Tn subtasks already interleave in virtual time, this speeds up the
+  /// real compute underneath). 1 = serial, the bit-exact reference path;
+  /// 0 = use all hardware threads.
+  std::size_t worker_threads = 1;
   double learning_rate = 3e-3;        // paper: 1e-3; rescaled for the
                                       // substitute workload (DESIGN.md)
   std::string optimizer = "adam";

@@ -122,7 +122,8 @@ void VcAsgdAssimilator::try_assimilate(
             // Validation of the committed parameters.
             eval_model_.set_flat_params(server_params);
             const double acc = evaluate_accuracy_subsample(
-                eval_model_, validation_, options_.validation_subsample, rng_);
+                eval_model_, validation_, options_.validation_subsample, rng_,
+                exec_);
             engine_.schedule(validation_time(),
                              [this, shared_env, done, acc, gen] {
                                if (server_.generation() != gen) return;
@@ -162,7 +163,7 @@ void VcAsgdAssimilator::try_assimilate(
               eval_model_.set_flat_params(*server_params);
               const double acc = evaluate_accuracy_subsample(
                   eval_model_, validation_, options_.validation_subsample,
-                  rng_);
+                  rng_, exec_);
               engine_.schedule(validation_time(),
                                [this, shared_env, done, acc, gen] {
                                  if (server_.generation() != gen) return;

@@ -66,6 +66,10 @@ class VcAsgdAssimilator : public AssimilatorBackend {
   /// rewinds the store, the parameter file, and the published copy at once.
   void publish_initial(const std::vector<float>& params);
 
+  /// Worker pool for the validation forward passes (null = serial). Models
+  /// the parameter server's ps_threads vCPUs doing the real compute.
+  void set_exec_pool(ThreadPool* pool) { exec_.pool = pool; }
+
  private:
   /// Virtual seconds one validation takes given current worker contention.
   SimTime validation_time() const;
@@ -88,6 +92,7 @@ class VcAsgdAssimilator : public AssimilatorBackend {
   Rng rng_;
   std::function<void(std::size_t, double)> on_assimilated_;
   FaultInjector* faults_ = nullptr;
+  ExecContext exec_;  // threads the validation forwards; arena reused per run
   RetryPolicy store_retry_;  // backoff for injected store outages
   SimMutex txn_lock_;  // strong-store transaction serialization
   std::vector<float> published_;

@@ -6,6 +6,7 @@
 
 #include "common/log.hpp"
 #include "common/stats.hpp"
+#include "common/thread_pool.hpp"
 #include "core/eval.hpp"
 #include "core/param_server.hpp"
 #include "core/work_generator.hpp"
@@ -60,6 +61,18 @@ TrainResult VcTrainer::run() {
     return make_resnet_lite(spec_.model, mix64(spec_.seed, 0x30DE1));
   }();
   const std::vector<float> initial_params = template_model.flat_params();
+
+  // --- Worker pool (intra-model parallelism) ---------------------------------
+  // One pool shared by every client's training callback and by evaluation:
+  // the DES is serial, so only one forward/backward runs at a time and the
+  // pool's workers always split that single model's compute. worker_threads
+  // == 1 keeps everything on the calling thread — the bit-exact reference.
+  std::unique_ptr<ThreadPool> exec_pool;
+  if (spec_.worker_threads != 1) {
+    exec_pool = std::make_unique<ThreadPool>(spec_.worker_threads);
+  }
+  ExecContext eval_exec;
+  eval_exec.pool = exec_pool.get();
 
   // --- Infrastructure --------------------------------------------------------
   SimEngine engine;
@@ -143,8 +156,8 @@ TrainResult VcTrainer::run() {
         es.min_subtask_acc = acc.acc.min();
         es.max_subtask_acc = acc.acc.max();
         es.std_subtask_acc = acc.acc.stddev();
-        es.val_acc = evaluate_accuracy(eval_model, data.validation);
-        es.test_acc = evaluate_accuracy(eval_model, data.test);
+        es.val_acc = evaluate_accuracy(eval_model, data.validation, eval_exec);
+        es.test_acc = evaluate_accuracy(eval_model, data.test, eval_exec);
         es.results = acc.results;
         result.epochs.push_back(es);
         trace_.record(engine.now(), TraceKind::epoch_done, "work-generator",
@@ -164,6 +177,7 @@ TrainResult VcTrainer::run() {
         }
       });
   server.set_backend(&assimilator);
+  assimilator.set_exec_pool(exec_pool.get());
   if (injector) assimilator.set_fault_injector(injector.get());
   assimilator.publish_initial(initial_params);
 
@@ -178,8 +192,8 @@ TrainResult VcTrainer::run() {
   // --- Client training callback ----------------------------------------------
   Model worker_model = template_model;  // scratch replica (DES is serial)
   std::uint64_t subtask_counter = 0;
-  const ExecuteFn execute = [&](const Workunit& unit,
-                                ClientId client) -> ExecOutcome {
+  const ExecuteFn execute = [&](const Workunit& unit, ClientId client,
+                                ExecContext& exec) -> ExecOutcome {
     (void)client;
     VCDL_CHECK(unit.shard < shards.count(), "execute: shard out of range");
     const Dataset& shard = shards.shards[unit.shard];
@@ -198,10 +212,10 @@ TrainResult VcTrainer::run() {
         const Tensor x = shard.gather_tensor(idx);
         std::vector<std::uint16_t> labels(count);
         for (std::size_t i = 0; i < count; ++i) labels[i] = shard.label(idx[i]);
-        const Tensor logits = worker_model.forward(x, /*training=*/true);
+        const Tensor logits = worker_model.forward(x, exec, /*training=*/true);
         const auto loss = softmax_cross_entropy(logits, labels);
         worker_model.zero_grads();
-        worker_model.backward(loss.grad);
+        worker_model.backward(loss.grad, exec);
         optimizer->step(worker_model);
       }
     }
@@ -218,6 +232,7 @@ TrainResult VcTrainer::run() {
     cc.preemption.downtime_s = spec_.preemption_downtime_s;
     cc.availability = spec_.availability;
     cc.retry = spec_.client_retry;
+    cc.exec_pool = exec_pool.get();
     clients.push_back(std::make_unique<SimClient>(
         i, fleet[i], cc, engine, spec_.network, catalog.server, files,
         scheduler, server, trace_, master.fork(0xC11E + i), execute));

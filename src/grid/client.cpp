@@ -18,6 +18,7 @@ SimClient::SimClient(ClientId id, InstanceType instance, ClientConfig config,
       server_instance_(std::move(server_instance)), files_(files),
       scheduler_(scheduler), server_(server), trace_(trace), rng_(rng),
       execute_(std::move(execute)) {
+  exec_.pool = config_.exec_pool;
   VCDL_CHECK(config_.max_concurrent >= 1, "SimClient: Tn must be >= 1");
   VCDL_CHECK(config_.retry.max_attempts >= 1,
              "SimClient: retry.max_attempts must be >= 1");
@@ -127,7 +128,7 @@ void SimClient::exec_unit(const Workunit& unit) {
   // Real training happens here; virtual duration comes from the instance
   // model at the *current* concurrency level (processor-sharing
   // approximation — see DESIGN.md §4).
-  ExecOutcome outcome = execute_(unit, id_);
+  ExecOutcome outcome = execute_(unit, id_, exec_);
   SimTime exec_s = subtask_exec_time(instance_, outcome.work_units, active_,
                                      config_.compute);
   if (config_.compute.exec_jitter_sigma > 0.0) {
@@ -234,9 +235,11 @@ void SimClient::preempt() {
   cancel_pending();
   active_ = 0;
   poll_scheduled_ = false;
-  // The replacement instance starts with a cold cache.
+  // The replacement instance starts with a cold cache — including the
+  // training scratch arena.
   cache_.clear();
   scheduler_.clear_cache(id_);
+  exec_.arena.release();
   const EventId id =
       engine_.schedule(config_.preemption.downtime_s, [this] { restore(); });
   track(id);

@@ -32,6 +32,7 @@
 #include "sim/network.hpp"
 #include "sim/preemption.hpp"
 #include "sim/trace.hpp"
+#include "tensor/exec_context.hpp"
 
 namespace vcdl {
 
@@ -42,8 +43,12 @@ struct ExecOutcome {
 };
 
 /// Executes a subtask *for real* (trains the model on the shard). Called at
-/// the virtual exec-start instant.
-using ExecuteFn = std::function<ExecOutcome(const Workunit&, ClientId)>;
+/// the virtual exec-start instant. The ExecContext is the client's own — its
+/// worker pool splits the compute of this one subtask, and its scratch arena
+/// persists across the client's subtasks (freed on preemption, like the rest
+/// of the replaced instance's memory).
+using ExecuteFn =
+    std::function<ExecOutcome(const Workunit&, ClientId, ExecContext&)>;
 
 struct ClientConfig {
   std::size_t max_concurrent = 2;  // the paper's Tn
@@ -58,6 +63,9 @@ struct ClientConfig {
   /// Transfer retry/backoff policy; only exercised when transfers can fail
   /// (fault injection or a crashed grid server).
   RetryPolicy retry;
+  /// Worker pool handed to the training callback via the client's
+  /// ExecContext. Null = serial execution (the bit-exact reference path).
+  ThreadPool* exec_pool = nullptr;
 };
 
 class SimClient {
@@ -140,6 +148,7 @@ class SimClient {
   TraceLog& trace_;
   Rng rng_;
   ExecuteFn execute_;
+  ExecContext exec_;  // pool from config_.exec_pool + this client's arena
   FaultInjector* faults_ = nullptr;
 
   bool up_ = false;

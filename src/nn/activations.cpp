@@ -4,24 +4,32 @@
 
 namespace vcdl {
 
-Tensor ReLU::forward(const Tensor& x, bool /*training*/) {
+Tensor ReLU::forward(const Tensor& x, ExecContext& /*ctx*/, bool training) {
   Tensor y = x;
-  mask_ = Tensor(x.shape());
   auto yf = y.flat();
-  auto mf = mask_.flat();
-  for (std::size_t i = 0; i < yf.size(); ++i) {
-    if (yf[i] > 0.0f) {
-      mf[i] = 1.0f;
-    } else {
-      yf[i] = 0.0f;
-      mf[i] = 0.0f;
+  if (training) {
+    mask_ = Tensor(x.shape());
+    auto mf = mask_.flat();
+    for (std::size_t i = 0; i < yf.size(); ++i) {
+      if (yf[i] > 0.0f) {
+        mf[i] = 1.0f;
+      } else {
+        yf[i] = 0.0f;
+        mf[i] = 0.0f;
+      }
+    }
+  } else {
+    mask_ = Tensor();
+    for (auto& v : yf) {
+      if (v <= 0.0f) v = 0.0f;
     }
   }
   return y;
 }
 
-Tensor ReLU::backward(const Tensor& grad_out) {
-  VCDL_CHECK(grad_out.shape() == mask_.shape(), "ReLU::backward shape mismatch");
+Tensor ReLU::backward(const Tensor& grad_out, ExecContext& /*ctx*/) {
+  VCDL_CHECK(grad_out.shape() == mask_.shape(),
+             "ReLU::backward before training-mode forward or shape mismatch");
   Tensor dx = grad_out;
   auto df = dx.flat();
   auto mf = mask_.flat();
@@ -32,15 +40,16 @@ Tensor ReLU::backward(const Tensor& grad_out) {
 void ReLU::write_spec(BinaryWriter& /*w*/) const {}
 std::unique_ptr<Layer> ReLU::clone() const { return std::make_unique<ReLU>(*this); }
 
-Tensor Tanh::forward(const Tensor& x, bool /*training*/) {
+Tensor Tanh::forward(const Tensor& x, ExecContext& /*ctx*/, bool training) {
   Tensor y = x;
   for (auto& v : y.flat()) v = std::tanh(v);
-  last_y_ = y;
+  last_y_ = training ? y : Tensor();
   return y;
 }
 
-Tensor Tanh::backward(const Tensor& grad_out) {
-  VCDL_CHECK(grad_out.shape() == last_y_.shape(), "Tanh::backward shape mismatch");
+Tensor Tanh::backward(const Tensor& grad_out, ExecContext& /*ctx*/) {
+  VCDL_CHECK(grad_out.shape() == last_y_.shape(),
+             "Tanh::backward before training-mode forward or shape mismatch");
   Tensor dx = grad_out;
   auto df = dx.flat();
   auto yf = last_y_.flat();
@@ -51,16 +60,16 @@ Tensor Tanh::backward(const Tensor& grad_out) {
 void Tanh::write_spec(BinaryWriter& /*w*/) const {}
 std::unique_ptr<Layer> Tanh::clone() const { return std::make_unique<Tanh>(*this); }
 
-Tensor Sigmoid::forward(const Tensor& x, bool /*training*/) {
+Tensor Sigmoid::forward(const Tensor& x, ExecContext& /*ctx*/, bool training) {
   Tensor y = x;
   for (auto& v : y.flat()) v = 1.0f / (1.0f + std::exp(-v));
-  last_y_ = y;
+  last_y_ = training ? y : Tensor();
   return y;
 }
 
-Tensor Sigmoid::backward(const Tensor& grad_out) {
+Tensor Sigmoid::backward(const Tensor& grad_out, ExecContext& /*ctx*/) {
   VCDL_CHECK(grad_out.shape() == last_y_.shape(),
-             "Sigmoid::backward shape mismatch");
+             "Sigmoid::backward before training-mode forward or shape mismatch");
   Tensor dx = grad_out;
   auto df = dx.flat();
   auto yf = last_y_.flat();

@@ -1,4 +1,8 @@
 // Parameter-free activation layers.
+//
+// Each caches what its backward needs (a mask or the forward output) only on
+// training-mode passes; inference passes free the cache, and copies made for
+// clone() never carry it.
 #pragma once
 
 #include "nn/layer.hpp"
@@ -8,8 +12,16 @@ namespace vcdl {
 /// max(0, x)
 class ReLU : public Layer {
  public:
-  Tensor forward(const Tensor& x, bool training) override;
-  Tensor backward(const Tensor& grad_out) override;
+  ReLU() = default;
+  ReLU(const ReLU&) : Layer() {}
+
+  using Layer::forward;
+  using Layer::backward;
+  Tensor forward(const Tensor& x, ExecContext& ctx, bool training) override;
+  Tensor backward(const Tensor& grad_out, ExecContext& ctx) override;
+  std::size_t cache_bytes() const override {
+    return mask_.numel() * sizeof(float);
+  }
   std::string kind() const override { return "relu"; }
   void write_spec(BinaryWriter& w) const override;
   std::unique_ptr<Layer> clone() const override;
@@ -20,8 +32,16 @@ class ReLU : public Layer {
 
 class Tanh : public Layer {
  public:
-  Tensor forward(const Tensor& x, bool training) override;
-  Tensor backward(const Tensor& grad_out) override;
+  Tanh() = default;
+  Tanh(const Tanh&) : Layer() {}
+
+  using Layer::forward;
+  using Layer::backward;
+  Tensor forward(const Tensor& x, ExecContext& ctx, bool training) override;
+  Tensor backward(const Tensor& grad_out, ExecContext& ctx) override;
+  std::size_t cache_bytes() const override {
+    return last_y_.numel() * sizeof(float);
+  }
   std::string kind() const override { return "tanh"; }
   void write_spec(BinaryWriter& w) const override;
   std::unique_ptr<Layer> clone() const override;
@@ -32,8 +52,16 @@ class Tanh : public Layer {
 
 class Sigmoid : public Layer {
  public:
-  Tensor forward(const Tensor& x, bool training) override;
-  Tensor backward(const Tensor& grad_out) override;
+  Sigmoid() = default;
+  Sigmoid(const Sigmoid&) : Layer() {}
+
+  using Layer::forward;
+  using Layer::backward;
+  Tensor forward(const Tensor& x, ExecContext& ctx, bool training) override;
+  Tensor backward(const Tensor& grad_out, ExecContext& ctx) override;
+  std::size_t cache_bytes() const override {
+    return last_y_.numel() * sizeof(float);
+  }
   std::string kind() const override { return "sigmoid"; }
   void write_spec(BinaryWriter& w) const override;
   std::unique_ptr<Layer> clone() const override;

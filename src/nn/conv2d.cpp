@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "tensor/ops.hpp"
 
 namespace vcdl {
@@ -93,7 +94,12 @@ Conv2D::Conv2D(std::size_t in_channels, std::size_t out_channels,
   initialize(w_, scheme, fan_in, fan_out, rng);
 }
 
-Tensor Conv2D::forward(const Tensor& x, bool /*training*/) {
+Conv2D::Conv2D(const Conv2D& other)
+    : in_c_(other.in_c_), out_c_(other.out_c_), kernel_(other.kernel_),
+      stride_(other.stride_), pad_(other.pad_), scheme_(other.scheme_),
+      w_(other.w_), b_(other.b_), dw_(other.dw_), db_(other.db_) {}
+
+Tensor Conv2D::forward(const Tensor& x, ExecContext& ctx, bool training) {
   VCDL_CHECK(x.shape().rank() == 4 && x.shape()[1] == in_c_,
              "Conv2D::forward: expected [batch, " + std::to_string(in_c_) +
                  ", H, W], got " + x.shape().to_string());
@@ -102,20 +108,46 @@ Tensor Conv2D::forward(const Tensor& x, bool /*training*/) {
   VCDL_CHECK(h + 2 * pad_ >= kernel_ && w + 2 * pad_ >= kernel_,
              "Conv2D: kernel larger than padded input");
   const std::size_t oh = out_height(h), ow = out_width(w);
-  last_h_ = h;
-  last_w_ = w;
-  last_batch_ = batch;
-
   const std::size_t col_rows = in_c_ * kernel_ * kernel_;
   const std::size_t out_plane = oh * ow;
-  cols_.assign(batch, Tensor(Shape{col_rows, out_plane}));
+
+  if (training) {
+    last_h_ = h;
+    last_w_ = w;
+    last_batch_ = batch;
+    // Resize the cached per-item buffers in place: their allocations survive
+    // across steps once the batch geometry stabilizes, where assign() would
+    // rebuild `batch` fresh tensors every call.
+    cols_.resize(batch);
+    for (Tensor& c : cols_) c.resize(Shape{col_rows, out_plane});
+  } else {
+    // Inference pass: no backward will follow, so drop any stale cache and
+    // invalidate the bookkeeping backward() checks.
+    cols_.clear();
+    cols_.shrink_to_fit();
+    last_batch_ = 0;
+  }
 
   Tensor y(Shape{batch, out_c_, oh, ow});
-  Tensor y_mat;  // reused [out_c, out_plane] view buffer
-  for (std::size_t bi = 0; bi < batch; ++bi) {
+  const std::size_t chunks =
+      ctx.pool == nullptr ? 1 : ctx.pool->max_chunks(batch);
+  // Borrow all per-chunk scratch before fanning out — the arena is not
+  // thread-safe, but the borrowed tensors have stable addresses.
+  std::vector<Tensor*> y_mats(chunks);
+  std::vector<Tensor*> eval_cols(chunks, nullptr);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    y_mats[c] = &ctx.arena.get(c, Shape{out_c_, out_plane});
+    if (!training) {
+      eval_cols[c] = &ctx.arena.get(chunks + c, Shape{col_rows, out_plane});
+    }
+  }
+
+  auto run_item = [&](std::size_t chunk, std::size_t bi) {
+    Tensor& col = training ? cols_[bi] : *eval_cols[chunk];
     im2col(x.data() + bi * in_c_ * h * w, in_c_, h, w, kernel_, stride_, pad_,
-           oh, ow, cols_[bi].data());
-    ops::matmul(w_, cols_[bi], y_mat);
+           oh, ow, col.data());
+    Tensor& y_mat = *y_mats[chunk];
+    ops::matmul(w_, col, y_mat);
     float* y_b = y.data() + bi * out_c_ * out_plane;
     const float* ym = y_mat.data();
     for (std::size_t oc = 0; oc < out_c_; ++oc) {
@@ -124,38 +156,86 @@ Tensor Conv2D::forward(const Tensor& x, bool /*training*/) {
         y_b[oc * out_plane + p] = ym[oc * out_plane + p] + bias;
       }
     }
+  };
+
+  if (chunks <= 1) {
+    for (std::size_t bi = 0; bi < batch; ++bi) run_item(0, bi);
+  } else {
+    // Each item writes a disjoint slice of y, so the parallel split is
+    // bit-identical to the serial loop.
+    ctx.pool->parallel_for_indexed(
+        0, batch, [&](std::size_t chunk, std::size_t lo, std::size_t hi) {
+          for (std::size_t bi = lo; bi < hi; ++bi) run_item(chunk, bi);
+        });
   }
   return y;
 }
 
-Tensor Conv2D::backward(const Tensor& grad_out) {
-  VCDL_CHECK(last_batch_ > 0, "Conv2D::backward before forward");
+Tensor Conv2D::backward(const Tensor& grad_out, ExecContext& ctx) {
+  VCDL_CHECK(last_batch_ > 0, "Conv2D::backward before training-mode forward");
   const std::size_t oh = out_height(last_h_), ow = out_width(last_w_);
   VCDL_CHECK((grad_out.shape() == Shape{last_batch_, out_c_, oh, ow}),
              "Conv2D::backward: gradient shape mismatch");
+  VCDL_CHECK(cols_.size() == last_batch_,
+             "Conv2D::backward: im2col cache missing");
   const std::size_t out_plane = oh * ow;
   const std::size_t col_rows = in_c_ * kernel_ * kernel_;
 
   Tensor dx(Shape{last_batch_, in_c_, last_h_, last_w_});
-  Tensor dcol(Shape{col_rows, out_plane});
-  for (std::size_t bi = 0; bi < last_batch_; ++bi) {
-    // View this item's output gradient as a [out_c, out_plane] matrix.
-    Tensor dy_mat(Shape{out_c_, out_plane},
-                  std::vector<float>(
-                      grad_out.data() + bi * out_c_ * out_plane,
-                      grad_out.data() + (bi + 1) * out_c_ * out_plane));
-    // dW += dY · col^T
-    ops::matmul_a_bt(dy_mat, cols_[bi], dw_, /*accumulate=*/true);
-    // db += row sums of dY
+
+  // One item's contribution: dW += dY·col^T, db += row sums of dY, and
+  // dX slice = col2im(W^T·dY). dY is viewed in place — no copy.
+  auto run_item = [&](std::size_t bi, Tensor& dw, Tensor& db, Tensor& dcol) {
+    const ops::MatView dy{grad_out.data() + bi * out_c_ * out_plane, out_c_,
+                          out_plane};
+    ops::matmul_a_bt(dy, ops::view(cols_[bi]), dw, /*accumulate=*/true);
     for (std::size_t oc = 0; oc < out_c_; ++oc) {
-      db_[oc] += ops::sum(dy_mat.flat().subspan(oc * out_plane, out_plane));
+      db[oc] += ops::sum(
+          std::span<const float>(dy.data + oc * out_plane, out_plane));
     }
-    // dcol = W^T · dY, then scatter back to image layout.
-    ops::matmul_at_b(w_, dy_mat, dcol);
+    ops::matmul_at_b(ops::view(w_), dy, dcol);
     col2im(dcol.data(), in_c_, last_h_, last_w_, kernel_, stride_, pad_, oh, ow,
            dx.data() + bi * in_c_ * last_h_ * last_w_);
+  };
+
+  const std::size_t chunks =
+      ctx.pool == nullptr ? 1 : ctx.pool->max_chunks(last_batch_);
+  if (chunks <= 1) {
+    Tensor& dcol = ctx.arena.get(0, Shape{col_rows, out_plane});
+    for (std::size_t bi = 0; bi < last_batch_; ++bi) {
+      run_item(bi, dw_, db_, dcol);
+    }
+  } else {
+    // Per-chunk weight-gradient partials, reduced below in chunk order.
+    // Chunk boundaries depend only on (batch, pool size), so results are
+    // deterministic for a fixed thread count; regrouping the float sums
+    // keeps them within tolerance of (not bit-identical to) serial.
+    std::vector<Tensor*> pdw(chunks), pdb(chunks), pdcol(chunks);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      pdw[c] = &ctx.arena.get(c, dw_.shape());
+      pdb[c] = &ctx.arena.get(chunks + c, db_.shape());
+      pdcol[c] = &ctx.arena.get(2 * chunks + c, Shape{col_rows, out_plane});
+      pdw[c]->fill(0.0f);
+      pdb[c]->fill(0.0f);
+    }
+    ctx.pool->parallel_for_indexed(
+        0, last_batch_, [&](std::size_t chunk, std::size_t lo, std::size_t hi) {
+          for (std::size_t bi = lo; bi < hi; ++bi) {
+            run_item(bi, *pdw[chunk], *pdb[chunk], *pdcol[chunk]);
+          }
+        });
+    for (std::size_t c = 0; c < chunks; ++c) {
+      ops::axpy(1.0f, pdw[c]->flat(), dw_.flat());
+      ops::axpy(1.0f, pdb[c]->flat(), db_.flat());
+    }
   }
   return dx;
+}
+
+std::size_t Conv2D::cache_bytes() const {
+  std::size_t n = 0;
+  for (const Tensor& c : cols_) n += c.numel();
+  return n * sizeof(float);
 }
 
 void Conv2D::write_spec(BinaryWriter& w) const {

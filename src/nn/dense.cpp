@@ -13,13 +13,21 @@ Dense::Dense(std::size_t in, std::size_t out, Init scheme, Rng& rng)
   initialize(w_, scheme, in, out, rng);
 }
 
-Tensor Dense::forward(const Tensor& x, bool /*training*/) {
+Dense::Dense(const Dense& other)
+    : in_(other.in_), out_(other.out_), scheme_(other.scheme_),
+      w_(other.w_), b_(other.b_), dw_(other.dw_), db_(other.db_) {}
+
+Tensor Dense::forward(const Tensor& x, ExecContext& ctx, bool training) {
   VCDL_CHECK(x.shape().rank() == 2 && x.shape()[1] == in_,
              "Dense::forward: expected [batch, " + std::to_string(in_) +
                  "], got " + x.shape().to_string());
-  last_x_ = x;
+  if (training) {
+    last_x_ = x;
+  } else {
+    last_x_ = Tensor();  // drop any stale cache held from a training pass
+  }
   Tensor y;
-  ops::matmul(x, w_, y);
+  ops::matmul(x, w_, y, /*accumulate=*/false, ctx.pool);
   const std::size_t batch = x.shape()[0];
   for (std::size_t b = 0; b < batch; ++b) {
     ops::axpy(1.0f, b_.flat(), y.flat().subspan(b * out_, out_));
@@ -27,12 +35,13 @@ Tensor Dense::forward(const Tensor& x, bool /*training*/) {
   return y;
 }
 
-Tensor Dense::backward(const Tensor& grad_out) {
+Tensor Dense::backward(const Tensor& grad_out, ExecContext& ctx) {
   VCDL_CHECK(grad_out.shape().rank() == 2 && grad_out.shape()[1] == out_,
              "Dense::backward: gradient shape mismatch");
   VCDL_CHECK(last_x_.shape().rank() == 2, "Dense::backward before forward");
-  // dW += x^T · dY
-  ops::matmul_at_b(last_x_, grad_out, dw_, /*accumulate=*/true);
+  // dW += x^T · dY — row-split over dW rows, so parallel runs stay
+  // bit-identical to serial ones.
+  ops::matmul_at_b(last_x_, grad_out, dw_, /*accumulate=*/true, ctx.pool);
   // db += column sums of dY
   const std::size_t batch = grad_out.shape()[0];
   for (std::size_t b = 0; b < batch; ++b) {
@@ -40,7 +49,7 @@ Tensor Dense::backward(const Tensor& grad_out) {
   }
   // dX = dY · W^T
   Tensor dx;
-  ops::matmul_a_bt(grad_out, w_, dx);
+  ops::matmul_a_bt(grad_out, w_, dx, /*accumulate=*/false, ctx.pool);
   return dx;
 }
 

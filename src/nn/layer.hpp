@@ -4,7 +4,15 @@
 // need from forward() for the subsequent backward(). A model instance is
 // therefore single-threaded by design — every simulated client trains on its
 // own clone, which matches the paper's data-parallel scheme (n clients ⇒ n
-// independent model copies, §II-B).
+// independent model copies, §II-B). Intra-model parallelism comes from the
+// ExecContext threaded through forward/backward: its worker pool splits the
+// GEMM/conv work of ONE model, it never shares a model between drivers.
+//
+// Activation caches (Dense::last_x_, Conv2D's im2col buffers, ReLU masks, …)
+// are transient: they exist only between a training-mode forward and its
+// backward. Inference-mode forwards skip them (and drop stale ones), and
+// clone() excludes them, so cloned replicas and eval models don't haul dead
+// buffers around.
 #pragma once
 
 #include <memory>
@@ -12,6 +20,7 @@
 #include <vector>
 
 #include "common/blob.hpp"
+#include "tensor/exec_context.hpp"
 #include "tensor/tensor.hpp"
 
 namespace vcdl {
@@ -21,12 +30,24 @@ class Layer {
   virtual ~Layer() = default;
 
   /// Computes the layer output. `training` toggles train-only behaviour
-  /// (dropout masks). Input batch layout is documented per layer.
-  virtual Tensor forward(const Tensor& x, bool training) = 0;
+  /// (dropout masks, activation caching for backward). `ctx` supplies the
+  /// worker pool and scratch arena; it must outlive the call. Input batch
+  /// layout is documented per layer.
+  virtual Tensor forward(const Tensor& x, ExecContext& ctx, bool training) = 0;
 
   /// Given dLoss/dOutput, accumulates parameter gradients and returns
-  /// dLoss/dInput. Must be called after forward() on the same input.
-  virtual Tensor backward(const Tensor& grad_out) = 0;
+  /// dLoss/dInput. Must be called after a training-mode forward() on the
+  /// same input (an inference forward drops the caches backward needs).
+  virtual Tensor backward(const Tensor& grad_out, ExecContext& ctx) = 0;
+
+  /// Convenience overloads running on the shared serial context (no pool).
+  /// Derived classes re-expose them with `using Layer::forward;`.
+  Tensor forward(const Tensor& x, bool training) {
+    return forward(x, serial_exec_context(), training);
+  }
+  Tensor backward(const Tensor& grad_out) {
+    return backward(grad_out, serial_exec_context());
+  }
 
   /// Trainable parameter tensors (may be empty). Order is stable and is the
   /// order used by the flat parameter vector.
@@ -39,6 +60,11 @@ class Layer {
     for (Tensor* g : grads()) g->fill(0.0f);
   }
 
+  /// Bytes currently held by transient activation caches. Zero after an
+  /// inference-mode forward or on a fresh clone; tests and memory telemetry
+  /// use it to assert caches don't leak into eval or cloned replicas.
+  virtual std::size_t cache_bytes() const { return 0; }
+
   /// Stable kind tag used by model (de)serialization.
   virtual std::string kind() const = 0;
 
@@ -46,7 +72,8 @@ class Layer {
   /// model_io can rebuild an identical architecture.
   virtual void write_spec(BinaryWriter& w) const = 0;
 
-  /// Deep copy including current weights.
+  /// Deep copy of parameters and hyperparameters. Transient activation
+  /// caches are NOT copied — a clone is ready for a fresh forward.
   virtual std::unique_ptr<Layer> clone() const = 0;
 };
 

@@ -2,14 +2,15 @@
 
 namespace vcdl {
 
-Tensor Flatten::forward(const Tensor& x, bool /*training*/) {
+Tensor Flatten::forward(const Tensor& x, ExecContext& /*ctx*/,
+                        bool /*training*/) {
   VCDL_CHECK(x.shape().rank() >= 2, "Flatten expects rank >= 2");
   in_shape_ = x.shape();
   const std::size_t batch = x.shape()[0];
   return x.reshaped(Shape{batch, x.numel() / batch});
 }
 
-Tensor Flatten::backward(const Tensor& grad_out) {
+Tensor Flatten::backward(const Tensor& grad_out, ExecContext& /*ctx*/) {
   VCDL_CHECK(grad_out.numel() == in_shape_.numel(),
              "Flatten::backward: gradient size mismatch");
   return grad_out.reshaped(in_shape_);
@@ -25,9 +26,13 @@ Dropout::Dropout(double rate, std::uint64_t seed)
   VCDL_CHECK(rate >= 0.0 && rate < 1.0, "Dropout rate must be in [0, 1)");
 }
 
-Tensor Dropout::forward(const Tensor& x, bool training) {
+Dropout::Dropout(const Dropout& other)
+    : rate_(other.rate_), seed_(other.seed_), rng_(other.rng_) {}
+
+Tensor Dropout::forward(const Tensor& x, ExecContext& /*ctx*/, bool training) {
   if (!training || rate_ == 0.0) {
     used_mask_ = false;
+    mask_ = Tensor();
     return x;
   }
   used_mask_ = true;
@@ -48,7 +53,7 @@ Tensor Dropout::forward(const Tensor& x, bool training) {
   return y;
 }
 
-Tensor Dropout::backward(const Tensor& grad_out) {
+Tensor Dropout::backward(const Tensor& grad_out, ExecContext& /*ctx*/) {
   if (!used_mask_) return grad_out;
   VCDL_CHECK(grad_out.shape() == mask_.shape(),
              "Dropout::backward: gradient shape mismatch");
@@ -78,9 +83,9 @@ Residual::Residual(const Residual& other) {
   for (const auto& layer : other.inner_) inner_.push_back(layer->clone());
 }
 
-Tensor Residual::forward(const Tensor& x, bool training) {
+Tensor Residual::forward(const Tensor& x, ExecContext& ctx, bool training) {
   Tensor y = x;
-  for (auto& layer : inner_) y = layer->forward(y, training);
+  for (auto& layer : inner_) y = layer->forward(y, ctx, training);
   VCDL_CHECK(y.shape() == x.shape(),
              "Residual: inner stack changed shape " + x.shape().to_string() +
                  " -> " + y.shape().to_string());
@@ -90,10 +95,10 @@ Tensor Residual::forward(const Tensor& x, bool training) {
   return y;
 }
 
-Tensor Residual::backward(const Tensor& grad_out) {
+Tensor Residual::backward(const Tensor& grad_out, ExecContext& ctx) {
   Tensor g = grad_out;
   for (auto it = inner_.rbegin(); it != inner_.rend(); ++it) {
-    g = (*it)->backward(g);
+    g = (*it)->backward(g, ctx);
   }
   // Shortcut path: dL/dx += dL/dy.
   auto gf = g.flat();
@@ -117,6 +122,12 @@ std::vector<Tensor*> Residual::grads() {
     for (Tensor* g : layer->grads()) out.push_back(g);
   }
   return out;
+}
+
+std::size_t Residual::cache_bytes() const {
+  std::size_t n = 0;
+  for (const auto& layer : inner_) n += layer->cache_bytes();
+  return n;
 }
 
 // Inner layers are serialized recursively by model_io (which knows the layer

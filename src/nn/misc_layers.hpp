@@ -9,8 +9,10 @@ namespace vcdl {
 /// [B, d1, d2, ...] → [B, d1*d2*...].
 class Flatten : public Layer {
  public:
-  Tensor forward(const Tensor& x, bool training) override;
-  Tensor backward(const Tensor& grad_out) override;
+  using Layer::forward;
+  using Layer::backward;
+  Tensor forward(const Tensor& x, ExecContext& ctx, bool training) override;
+  Tensor backward(const Tensor& grad_out, ExecContext& ctx) override;
   std::string kind() const override { return "flatten"; }
   void write_spec(BinaryWriter& w) const override;
   std::unique_ptr<Layer> clone() const override;
@@ -24,9 +26,16 @@ class Flatten : public Layer {
 class Dropout : public Layer {
  public:
   Dropout(double rate, std::uint64_t seed);
+  /// Copies the rate and RNG state (persistent), not the mask (transient).
+  Dropout(const Dropout& other);
 
-  Tensor forward(const Tensor& x, bool training) override;
-  Tensor backward(const Tensor& grad_out) override;
+  using Layer::forward;
+  using Layer::backward;
+  Tensor forward(const Tensor& x, ExecContext& ctx, bool training) override;
+  Tensor backward(const Tensor& grad_out, ExecContext& ctx) override;
+  std::size_t cache_bytes() const override {
+    return mask_.numel() * sizeof(float);
+  }
   std::string kind() const override { return "dropout"; }
   void write_spec(BinaryWriter& w) const override;
   std::unique_ptr<Layer> clone() const override;
@@ -48,10 +57,13 @@ class Residual : public Layer {
   explicit Residual(std::vector<std::unique_ptr<Layer>> inner);
   Residual(const Residual& other);
 
-  Tensor forward(const Tensor& x, bool training) override;
-  Tensor backward(const Tensor& grad_out) override;
+  using Layer::forward;
+  using Layer::backward;
+  Tensor forward(const Tensor& x, ExecContext& ctx, bool training) override;
+  Tensor backward(const Tensor& grad_out, ExecContext& ctx) override;
   std::vector<Tensor*> params() override;
   std::vector<Tensor*> grads() override;
+  std::size_t cache_bytes() const override;
   std::string kind() const override { return "residual"; }
   void write_spec(BinaryWriter& w) const override;
   std::unique_ptr<Layer> clone() const override;

@@ -26,16 +26,16 @@ Model& Model::add(std::unique_ptr<Layer> layer) {
   return *this;
 }
 
-Tensor Model::forward(const Tensor& x, bool training) {
+Tensor Model::forward(const Tensor& x, ExecContext& ctx, bool training) {
   Tensor y = x;
-  for (auto& layer : layers_) y = layer->forward(y, training);
+  for (auto& layer : layers_) y = layer->forward(y, ctx, training);
   return y;
 }
 
-void Model::backward(const Tensor& grad_out) {
+void Model::backward(const Tensor& grad_out, ExecContext& ctx) {
   Tensor g = grad_out;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
-    g = (*it)->backward(g);
+    g = (*it)->backward(g, ctx);
   }
 }
 
@@ -64,6 +64,12 @@ std::size_t Model::parameter_count() const {
   for (const auto& layer : layers_) {
     for (const Tensor* p : const_cast<Layer&>(*layer).params()) n += p->numel();
   }
+  return n;
+}
+
+std::size_t Model::cache_bytes() const {
+  std::size_t n = 0;
+  for (const auto& layer : layers_) n += layer->cache_bytes();
   return n;
 }
 

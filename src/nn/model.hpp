@@ -30,10 +30,19 @@ class Model {
     return add(std::make_unique<L>(std::forward<Args>(args)...));
   }
 
-  /// Forward pass through every layer.
-  Tensor forward(const Tensor& x, bool training = false);
-  /// Backward pass; call after forward with the loss gradient w.r.t. output.
-  void backward(const Tensor& grad_out);
+  /// Forward pass through every layer. `ctx` supplies the worker pool and
+  /// scratch arena each layer may use; the overload without it runs on the
+  /// shared serial context (no pool, bit-exact reference path).
+  Tensor forward(const Tensor& x, ExecContext& ctx, bool training = false);
+  Tensor forward(const Tensor& x, bool training = false) {
+    return forward(x, serial_exec_context(), training);
+  }
+  /// Backward pass; call after a training-mode forward with the loss gradient
+  /// w.r.t. the output.
+  void backward(const Tensor& grad_out, ExecContext& ctx);
+  void backward(const Tensor& grad_out) {
+    backward(grad_out, serial_exec_context());
+  }
 
   std::vector<Tensor*> params();
   std::vector<Tensor*> grads();
@@ -42,6 +51,10 @@ class Model {
   /// Total number of trainable scalars (the paper reports 4,941,578 for its
   /// ResNetV2; ours is reported by the benches for transparency).
   std::size_t parameter_count() const;
+
+  /// Bytes held by the layers' transient activation caches (zero after an
+  /// inference forward; clones start at zero).
+  std::size_t cache_bytes() const;
 
   /// Copies all parameters into one contiguous vector (layer order).
   std::vector<float> flat_params() const;

@@ -6,7 +6,8 @@ MaxPool2D::MaxPool2D(std::size_t window) : window_(window) {
   VCDL_CHECK(window > 0, "MaxPool2D: zero window");
 }
 
-Tensor MaxPool2D::forward(const Tensor& x, bool /*training*/) {
+Tensor MaxPool2D::forward(const Tensor& x, ExecContext& /*ctx*/,
+                          bool training) {
   VCDL_CHECK(x.shape().rank() == 4, "MaxPool2D::forward expects NCHW");
   const std::size_t batch = x.shape()[0], c = x.shape()[1];
   const std::size_t h = x.shape()[2], w = x.shape()[3];
@@ -16,7 +17,12 @@ Tensor MaxPool2D::forward(const Tensor& x, bool /*training*/) {
   in_shape_ = x.shape();
   const std::size_t oh = h / window_, ow = w / window_;
   Tensor y(Shape{batch, c, oh, ow});
-  argmax_.assign(y.numel(), 0);
+  if (training) {
+    argmax_.assign(y.numel(), 0);
+  } else {
+    argmax_.clear();
+    argmax_.shrink_to_fit();
+  }
 
   const float* xp = x.data();
   float* yp = y.data();
@@ -38,7 +44,7 @@ Tensor MaxPool2D::forward(const Tensor& x, bool /*training*/) {
           }
         }
         yp[out_idx] = best;
-        argmax_[out_idx] = plane_base + best_idx;
+        if (training) argmax_[out_idx] = plane_base + best_idx;
         ++out_idx;
       }
     }
@@ -46,7 +52,9 @@ Tensor MaxPool2D::forward(const Tensor& x, bool /*training*/) {
   return y;
 }
 
-Tensor MaxPool2D::backward(const Tensor& grad_out) {
+Tensor MaxPool2D::backward(const Tensor& grad_out, ExecContext& /*ctx*/) {
+  VCDL_CHECK(!argmax_.empty(),
+             "MaxPool2D::backward before training-mode forward");
   VCDL_CHECK(grad_out.numel() == argmax_.size(),
              "MaxPool2D::backward: gradient size mismatch");
   Tensor dx(in_shape_);
@@ -62,7 +70,8 @@ std::unique_ptr<Layer> MaxPool2D::clone() const {
   return std::make_unique<MaxPool2D>(*this);
 }
 
-Tensor GlobalAvgPool::forward(const Tensor& x, bool /*training*/) {
+Tensor GlobalAvgPool::forward(const Tensor& x, ExecContext& /*ctx*/,
+                              bool /*training*/) {
   VCDL_CHECK(x.shape().rank() == 4, "GlobalAvgPool::forward expects NCHW");
   in_shape_ = x.shape();
   const std::size_t batch = x.shape()[0], c = x.shape()[1];
@@ -79,7 +88,7 @@ Tensor GlobalAvgPool::forward(const Tensor& x, bool /*training*/) {
   return y;
 }
 
-Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
+Tensor GlobalAvgPool::backward(const Tensor& grad_out, ExecContext& /*ctx*/) {
   VCDL_CHECK(in_shape_.rank() == 4, "GlobalAvgPool::backward before forward");
   const std::size_t batch = in_shape_[0], c = in_shape_[1];
   const std::size_t plane = in_shape_[2] * in_shape_[3];

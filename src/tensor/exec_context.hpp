@@ -1,0 +1,66 @@
+// Execution context for the training hot path.
+//
+// An ExecContext bundles the two resources the compute-heavy layers share: a
+// worker pool that the GEMM and convolution kernels split work over, and a
+// scratch arena of reusable tensors that removes per-step allocation churn
+// from forward/backward. One context is owned per training driver — a grid
+// client, an assimilator's validator, a bench loop — and threaded by
+// reference through Model::forward/backward into every Layer. Layers never
+// own pools or scratch, so model clones stay cheap and the degree of
+// parallelism remains a per-driver runtime decision.
+//
+// Determinism contract (see DESIGN.md "Execution & threading model"):
+//   * no pool, or a 1-thread pool ⇒ bit-identical to the serial kernels;
+//   * N workers ⇒ row-split GEMMs and batch-split convolution forwards are
+//     still bit-identical (every output element is produced whole by exactly
+//     one worker, in the serial arithmetic order); only Conv2D's per-chunk
+//     weight-gradient reduction regroups float sums, so training losses match
+//     within tolerance rather than bitwise.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace vcdl {
+
+class ThreadPool;
+
+/// Slot-addressed pool of reusable scratch tensors. `get` hands out the same
+/// storage every step, resizing in place (which reallocates only on growth),
+/// so steady-state training does no scratch allocation at all.
+///
+/// Not thread-safe: borrow every buffer on the coordinating thread *before*
+/// fanning work out to a pool; the returned references stay valid until
+/// release() (slots are held behind stable pointers).
+class ScratchArena {
+ public:
+  /// Borrows slot `slot` resized to `shape`. Contents are unspecified.
+  Tensor& get(std::size_t slot, const Shape& shape);
+
+  std::size_t slots() const { return slots_.size(); }
+  /// Total bytes currently held across all slots.
+  std::size_t bytes() const;
+  /// Drops all slots (e.g. a simulated preemption wiping local memory).
+  void release();
+
+ private:
+  std::vector<std::unique_ptr<Tensor>> slots_;
+};
+
+struct ExecContext {
+  ThreadPool* pool = nullptr;  // nullptr ⇒ single-threaded
+  ScratchArena arena;
+
+  /// Worker count layers should plan per-worker scratch for (>= 1).
+  std::size_t workers() const;
+};
+
+/// Shared fallback context (no pool) used by the convenience
+/// Layer/Model::forward overloads; thread-local so concurrent callers —
+/// e.g. store benches driving models from real threads — never race on it.
+ExecContext& serial_exec_context();
+
+}  // namespace vcdl

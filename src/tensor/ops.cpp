@@ -13,22 +13,58 @@ void check_same_size(std::span<const float> a, std::span<const float> b,
   VCDL_CHECK(a.size() == b.size(), std::string(what) + ": size mismatch");
 }
 
-// Row-block GEMM kernel: computes C rows [r0, r1).
-// A is MxK, B is KxN, both row-major.
+// Whether a panel is free of NaN/Inf. A nonfinite value anywhere poisons the
+// running sum (Inf + -Inf = NaN, NaN + x = NaN), so a finite sum proves the
+// panel finite; overflow of the double accumulator would only ever yield a
+// conservative false. One O(n) pass per GEMM call — cheap next to the O(m·n·k)
+// multiply — buys back the zero-skip fast path below without letting it mask
+// a diverging run.
+bool panel_all_finite(const float* p, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += p[i];
+  return std::isfinite(acc);
+}
+
+// Row-block GEMM kernel: computes C rows [r0, r1). A is MxK, B is KxN, both
+// row-major. Each k-block of B is repacked into a transposed (N x kblen)
+// micro-panel so the inner loop is a unit-stride dot product and the panel is
+// reused across every row of the block — that reuse is what the cache
+// blocking buys. The per-element accumulation order over k is unchanged from
+// the naive kernel, so results stay bit-identical.
+//
+// `zero_skip` skips a_ik == 0 terms (ReLU activations are often sparse). It
+// must only be enabled when B is finite: skipping drops the whole k-term,
+// which would silently mask NaN/Inf coming from B (0 * NaN = NaN).
 void gemm_rows(const float* a, const float* b, float* c, std::size_t r0,
-               std::size_t r1, std::size_t k_dim, std::size_t n_dim) {
+               std::size_t r1, std::size_t k_dim, std::size_t n_dim,
+               bool zero_skip) {
   constexpr std::size_t kBlockK = 64;
-  for (std::size_t i = r0; i < r1; ++i) {
-    float* c_row = c + i * n_dim;
-    for (std::size_t kb = 0; kb < k_dim; kb += kBlockK) {
-      const std::size_t k_end = std::min(k_dim, kb + kBlockK);
-      for (std::size_t k = kb; k < k_end; ++k) {
-        const float a_ik = a[i * k_dim + k];
-        if (a_ik == 0.0f) continue;  // ReLU activations are often sparse
-        const float* b_row = b + k * n_dim;
-        for (std::size_t j = 0; j < n_dim; ++j) {
-          c_row[j] += a_ik * b_row[j];
+  static thread_local std::vector<float> bt;  // packed B^T panel, per worker
+  bt.resize(kBlockK * n_dim);
+  for (std::size_t kb = 0; kb < k_dim; kb += kBlockK) {
+    const std::size_t kblen = std::min(k_dim - kb, kBlockK);
+    for (std::size_t kk = 0; kk < kblen; ++kk) {
+      const float* b_row = b + (kb + kk) * n_dim;
+      for (std::size_t j = 0; j < n_dim; ++j) bt[j * kblen + kk] = b_row[j];
+    }
+    for (std::size_t i = r0; i < r1; ++i) {
+      const float* a_row = a + i * k_dim + kb;
+      float* c_row = c + i * n_dim;
+      for (std::size_t j = 0; j < n_dim; ++j) {
+        const float* bt_col = bt.data() + j * kblen;
+        float acc = c_row[j];
+        if (zero_skip) {
+          for (std::size_t kk = 0; kk < kblen; ++kk) {
+            const float a_ik = a_row[kk];
+            if (a_ik == 0.0f) continue;
+            acc += a_ik * bt_col[kk];
+          }
+        } else {
+          for (std::size_t kk = 0; kk < kblen; ++kk) {
+            acc += a_row[kk] * bt_col[kk];
+          }
         }
+        c_row[j] = acc;
       }
     }
   }
@@ -42,6 +78,11 @@ void run_rowwise(std::size_t m, ThreadPool* pool,
   } else {
     body(0, m);
   }
+}
+
+void check_view(MatView v, const char* what) {
+  VCDL_CHECK(v.data != nullptr || v.rows * v.cols == 0,
+             std::string(what) + ": null matrix view");
 }
 
 }  // namespace
@@ -119,40 +160,54 @@ std::size_t argmax(std::span<const float> x) {
       std::max_element(x.begin(), x.end()) - x.begin());
 }
 
+MatView view(const Tensor& t) {
+  VCDL_CHECK(t.shape().rank() == 2, "ops::view expects a rank-2 tensor");
+  return MatView{t.data(), t.shape()[0], t.shape()[1]};
+}
+
+void matmul(MatView a, MatView b, Tensor& c, bool accumulate,
+            ThreadPool* pool) {
+  check_view(a, "matmul");
+  check_view(b, "matmul");
+  const std::size_t m = a.rows, k = a.cols;
+  VCDL_CHECK(b.rows == k, "matmul: inner dimension mismatch");
+  const std::size_t n = b.cols;
+  if (!(c.shape() == Shape{m, n})) c = Tensor(Shape{m, n});
+  if (!accumulate) c.fill(0.0f);
+  const bool zero_skip = panel_all_finite(b.data, k * n);
+  run_rowwise(m, pool, [&](std::size_t r0, std::size_t r1) {
+    gemm_rows(a.data, b.data, c.data(), r0, r1, k, n, zero_skip);
+  });
+}
+
 void matmul(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate,
             ThreadPool* pool) {
   VCDL_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2,
              "matmul expects rank-2 tensors");
-  const std::size_t m = a.shape()[0], k = a.shape()[1];
-  VCDL_CHECK(b.shape()[0] == k, "matmul: inner dimension mismatch");
-  const std::size_t n = b.shape()[1];
-  if (!(c.shape() == Shape{m, n})) c = Tensor(Shape{m, n});
-  if (!accumulate) c.fill(0.0f);
-  run_rowwise(m, pool, [&](std::size_t r0, std::size_t r1) {
-    gemm_rows(a.data(), b.data(), c.data(), r0, r1, k, n);
-  });
+  matmul(view(a), view(b), c, accumulate, pool);
 }
 
-void matmul_at_b(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate,
+void matmul_at_b(MatView a, MatView b, Tensor& c, bool accumulate,
                  ThreadPool* pool) {
   // a is stored K x M; logical op is (M x K) * (K x N).
-  VCDL_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2,
-             "matmul_at_b expects rank-2 tensors");
-  const std::size_t k = a.shape()[0], m = a.shape()[1];
-  VCDL_CHECK(b.shape()[0] == k, "matmul_at_b: inner dimension mismatch");
-  const std::size_t n = b.shape()[1];
+  check_view(a, "matmul_at_b");
+  check_view(b, "matmul_at_b");
+  const std::size_t k = a.rows, m = a.cols;
+  VCDL_CHECK(b.rows == k, "matmul_at_b: inner dimension mismatch");
+  const std::size_t n = b.cols;
   if (!(c.shape() == Shape{m, n})) c = Tensor(Shape{m, n});
   if (!accumulate) c.fill(0.0f);
-  const float* ap = a.data();
-  const float* bp = b.data();
+  const float* ap = a.data;
+  const float* bp = b.data;
   float* cp = c.data();
+  const bool zero_skip = panel_all_finite(bp, k * n);
   run_rowwise(m, pool, [&](std::size_t r0, std::size_t r1) {
     for (std::size_t kk = 0; kk < k; ++kk) {
       const float* a_row = ap + kk * m;
       const float* b_row = bp + kk * n;
       for (std::size_t i = r0; i < r1; ++i) {
         const float a_ki = a_row[i];
-        if (a_ki == 0.0f) continue;
+        if (zero_skip && a_ki == 0.0f) continue;
         float* c_row = cp + i * n;
         for (std::size_t j = 0; j < n; ++j) c_row[j] += a_ki * b_row[j];
       }
@@ -160,18 +215,25 @@ void matmul_at_b(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate,
   });
 }
 
-void matmul_a_bt(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate,
+void matmul_at_b(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate,
+                 ThreadPool* pool) {
+  VCDL_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2,
+             "matmul_at_b expects rank-2 tensors");
+  matmul_at_b(view(a), view(b), c, accumulate, pool);
+}
+
+void matmul_a_bt(MatView a, MatView b, Tensor& c, bool accumulate,
                  ThreadPool* pool) {
   // b is stored N x K; logical op is (M x K) * (K x N).
-  VCDL_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2,
-             "matmul_a_bt expects rank-2 tensors");
-  const std::size_t m = a.shape()[0], k = a.shape()[1];
-  VCDL_CHECK(b.shape()[1] == k, "matmul_a_bt: inner dimension mismatch");
-  const std::size_t n = b.shape()[0];
+  check_view(a, "matmul_a_bt");
+  check_view(b, "matmul_a_bt");
+  const std::size_t m = a.rows, k = a.cols;
+  VCDL_CHECK(b.cols == k, "matmul_a_bt: inner dimension mismatch");
+  const std::size_t n = b.rows;
   if (!(c.shape() == Shape{m, n})) c = Tensor(Shape{m, n});
   if (!accumulate) c.fill(0.0f);
-  const float* ap = a.data();
-  const float* bp = b.data();
+  const float* ap = a.data;
+  const float* bp = b.data;
   float* cp = c.data();
   run_rowwise(m, pool, [&](std::size_t r0, std::size_t r1) {
     for (std::size_t i = r0; i < r1; ++i) {
@@ -187,6 +249,13 @@ void matmul_a_bt(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate,
       }
     }
   });
+}
+
+void matmul_a_bt(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate,
+                 ThreadPool* pool) {
+  VCDL_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2,
+             "matmul_a_bt expects rank-2 tensors");
+  matmul_a_bt(view(a), view(b), c, accumulate, pool);
 }
 
 }  // namespace vcdl::ops

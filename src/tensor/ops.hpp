@@ -46,18 +46,39 @@ std::size_t argmax(std::span<const float> x);
 
 // --- GEMM ------------------------------------------------------------------
 
+/// Non-owning row-major matrix view over borrowed storage. The GEMM entry
+/// points accept views so hot loops can multiply a slice of a larger tensor
+/// (e.g. one batch item of a rank-4 gradient) without copying it out first.
+/// The storage must stay alive and unmodified for the duration of the call.
+struct MatView {
+  const float* data = nullptr;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+};
+
+/// Views a rank-2 tensor.
+MatView view(const Tensor& t);
+
 /// C = A(MxK) * B(KxN); accumulate adds into C instead of overwriting.
-/// When pool != nullptr the row dimension is split across workers.
+/// When pool != nullptr the row dimension is split across workers; the split
+/// is bit-identical to the serial kernel (each C row is produced whole, in
+/// the serial arithmetic order).
 void matmul(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate = false,
+            ThreadPool* pool = nullptr);
+void matmul(MatView a, MatView b, Tensor& c, bool accumulate = false,
             ThreadPool* pool = nullptr);
 
 /// C = A^T(K x M -> M x K seen transposed) * B. a is stored KxM.
 void matmul_at_b(const Tensor& a, const Tensor& b, Tensor& c,
                  bool accumulate = false, ThreadPool* pool = nullptr);
+void matmul_at_b(MatView a, MatView b, Tensor& c, bool accumulate = false,
+                 ThreadPool* pool = nullptr);
 
 /// C = A * B^T. b is stored NxK.
 void matmul_a_bt(const Tensor& a, const Tensor& b, Tensor& c,
                  bool accumulate = false, ThreadPool* pool = nullptr);
+void matmul_a_bt(MatView a, MatView b, Tensor& c, bool accumulate = false,
+                 ThreadPool* pool = nullptr);
 
 }  // namespace ops
 }  // namespace vcdl

@@ -90,6 +90,14 @@ class Tensor {
 
   void fill(float value) { std::fill(data_.begin(), data_.end(), value); }
 
+  /// Reshapes in place, keeping the existing allocation whenever the vector
+  /// capacity suffices (contents are unspecified afterwards). This is what
+  /// scratch buffers use to avoid per-step allocation churn.
+  void resize(const Shape& new_shape) {
+    shape_ = new_shape;
+    data_.resize(shape_.numel());
+  }
+
   /// Reinterprets the buffer with a new shape of identical element count.
   Tensor reshaped(Shape new_shape) const;
 

@@ -1,0 +1,300 @@
+// Execution-context & threading regression suite.
+//
+// Pins down the determinism contract of the ExecContext plumbing:
+//   * the serial path (worker_threads == 1, no pool) is bit-identical to the
+//     pre-ExecContext implementation (hardcoded golden values),
+//   * a 1-thread pool is bit-identical to no pool,
+//   * an N-thread pool keeps forward outputs and input gradients
+//     bit-identical and weight gradients / run metrics within tolerance,
+//     deterministically for a fixed thread count,
+//   * activation caches exist only between a training forward and its
+//     backward — inference forwards and clones carry none.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "core/trainer.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/loss.hpp"
+#include "nn/model_zoo.hpp"
+#include "tensor/exec_context.hpp"
+#include "tensor/ops.hpp"
+
+namespace vcdl {
+namespace {
+
+// Mirror of test_trainer_integration's miniature job.
+ExperimentSpec tiny_spec() {
+  ExperimentSpec spec;
+  spec.parameter_servers = 2;
+  spec.clients = 2;
+  spec.tasks_per_client = 2;
+  spec.num_shards = 8;
+  spec.max_epochs = 2;
+  spec.local_epochs = 1;
+  spec.batch_size = 10;
+  spec.validation_subsample = 32;
+  spec.data.height = 8;
+  spec.data.width = 8;
+  spec.data.train = 160;
+  spec.data.validation = 60;
+  spec.data.test = 60;
+  spec.model.height = 8;
+  spec.model.width = 8;
+  spec.model.base_filters = 4;
+  spec.model.blocks = 1;
+  return spec;
+}
+
+Model tiny_resnet(std::uint64_t seed) {
+  return make_resnet_lite(ResNetLiteSpec{.channels = 3,
+                                         .height = 8,
+                                         .width = 8,
+                                         .base_filters = 4,
+                                         .blocks = 1,
+                                         .classes = 10},
+                          seed);
+}
+
+// One training step on `model`; returns the logits and leaves gradients set.
+Tensor train_step(Model& model, ExecContext& ctx, const Tensor& x,
+                  std::span<const std::uint16_t> labels) {
+  const Tensor logits = model.forward(x, ctx, /*training=*/true);
+  const auto loss = softmax_cross_entropy(logits, labels);
+  model.zero_grads();
+  model.backward(loss.grad, ctx);
+  return logits;
+}
+
+// --- Golden regression: serial path is bit-identical to the pre-PR seed ----
+//
+// Values captured from the seed commit (before the ExecContext refactor) by
+// running the identical specs through run_experiment. EXPECT_DOUBLE_EQ: any
+// change in float arithmetic order in the serial hot path trips these.
+
+TEST(GoldenSerial, ConvRunMatchesPreRefactorSeedBitExactly) {
+  const TrainResult r = run_experiment(tiny_spec());
+  ASSERT_EQ(r.epochs.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.epochs[0].end_time, 360.98574768936663);
+  EXPECT_DOUBLE_EQ(r.epochs[0].mean_subtask_acc, 0.10546875);
+  EXPECT_DOUBLE_EQ(r.epochs[0].val_acc, 0.10000000000000001);
+  EXPECT_DOUBLE_EQ(r.epochs[0].test_acc, 0.10000000000000001);
+  EXPECT_DOUBLE_EQ(r.epochs[1].end_time, 734.06203398916170);
+  EXPECT_DOUBLE_EQ(r.epochs[1].mean_subtask_acc, 0.12109374999999999);
+  EXPECT_DOUBLE_EQ(r.epochs[1].val_acc, 0.10000000000000001);
+  EXPECT_DOUBLE_EQ(r.epochs[1].test_acc, 0.10000000000000001);
+}
+
+TEST(GoldenSerial, MlpRunMatchesPreRefactorSeedBitExactly) {
+  ExperimentSpec spec = tiny_spec();
+  spec.model_kind = ExperimentSpec::ModelKind::mlp;
+  const TrainResult r = run_experiment(spec);
+  ASSERT_EQ(r.epochs.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.epochs[0].end_time, 360.98602395869995);
+  EXPECT_DOUBLE_EQ(r.epochs[0].mean_subtask_acc, 0.0859375);
+  EXPECT_DOUBLE_EQ(r.epochs[0].val_acc, 0.11666666666666667);
+  EXPECT_DOUBLE_EQ(r.epochs[0].test_acc, 0.10000000000000001);
+  EXPECT_DOUBLE_EQ(r.epochs[1].end_time, 734.06231026916157);
+  EXPECT_DOUBLE_EQ(r.epochs[1].mean_subtask_acc, 0.1171875);
+  EXPECT_DOUBLE_EQ(r.epochs[1].val_acc, 0.11666666666666667);
+  EXPECT_DOUBLE_EQ(r.epochs[1].test_acc, 0.10000000000000001);
+}
+
+// --- Pool-vs-serial determinism at the model level -------------------------
+
+TEST(ExecThreading, OneThreadPoolBitIdenticalToSerial) {
+  Model serial = tiny_resnet(11);
+  Model pooled = serial;  // identical weights
+  ThreadPool pool(1);
+  ExecContext pooled_ctx;
+  pooled_ctx.pool = &pool;
+  Rng rng(3);
+  const Tensor x = Tensor::randn(Shape{6, 3, 8, 8}, rng);
+  const std::vector<std::uint16_t> labels = {0, 1, 2, 3, 4, 5};
+
+  const Tensor ys = train_step(serial, serial_exec_context(), x, labels);
+  const Tensor yp = train_step(pooled, pooled_ctx, x, labels);
+  ASSERT_TRUE(ys.shape() == yp.shape());
+  for (std::size_t i = 0; i < ys.numel(); ++i) EXPECT_EQ(ys[i], yp[i]);
+
+  const auto gs = serial.grads();
+  const auto gp = pooled.grads();
+  ASSERT_EQ(gs.size(), gp.size());
+  for (std::size_t t = 0; t < gs.size(); ++t) {
+    for (std::size_t i = 0; i < gs[t]->numel(); ++i) {
+      EXPECT_EQ((*gs[t])[i], (*gp[t])[i]) << "grad tensor " << t;
+    }
+  }
+}
+
+TEST(ExecThreading, FourThreadForwardBitIdenticalGradsWithinTolerance) {
+  Model serial = tiny_resnet(17);
+  Model pooled = serial;
+  ThreadPool pool(4);
+  ExecContext pooled_ctx;
+  pooled_ctx.pool = &pool;
+  Rng rng(5);
+  const Tensor x = Tensor::randn(Shape{8, 3, 8, 8}, rng);
+  const std::vector<std::uint16_t> labels = {0, 1, 2, 3, 4, 5, 6, 7};
+
+  const Tensor ys = train_step(serial, serial_exec_context(), x, labels);
+  const Tensor yp = train_step(pooled, pooled_ctx, x, labels);
+  // Forward batch-splitting writes disjoint slices: bit-identical.
+  for (std::size_t i = 0; i < ys.numel(); ++i) EXPECT_EQ(ys[i], yp[i]);
+  // Only the Conv2D weight-gradient reduction regroups float sums; every
+  // gradient stays within a tight tolerance of the serial result.
+  const auto gs = serial.grads();
+  const auto gp = pooled.grads();
+  ASSERT_EQ(gs.size(), gp.size());
+  for (std::size_t t = 0; t < gs.size(); ++t) {
+    EXPECT_LE(ops::max_abs_diff(gs[t]->flat(), gp[t]->flat()), 1e-4f)
+        << "grad tensor " << t;
+  }
+}
+
+TEST(ExecThreading, FourThreadRunDeterministicAndCloseToSerial) {
+  ExperimentSpec threaded = tiny_spec();
+  threaded.worker_threads = 4;
+  const TrainResult serial = run_experiment(tiny_spec());
+  const TrainResult a = run_experiment(threaded);
+  const TrainResult b = run_experiment(threaded);
+  ASSERT_EQ(a.epochs.size(), serial.epochs.size());
+  for (std::size_t i = 0; i < a.epochs.size(); ++i) {
+    // Virtual time is independent of the worker pool entirely.
+    EXPECT_DOUBLE_EQ(a.epochs[i].end_time, serial.epochs[i].end_time);
+    // Chunk boundaries are a pure function of (range, pool size): identical
+    // thread counts give identical results, run to run.
+    EXPECT_DOUBLE_EQ(a.epochs[i].mean_subtask_acc,
+                     b.epochs[i].mean_subtask_acc);
+    EXPECT_DOUBLE_EQ(a.epochs[i].val_acc, b.epochs[i].val_acc);
+    EXPECT_DOUBLE_EQ(a.epochs[i].test_acc, b.epochs[i].test_acc);
+    // Against serial, only the conv weight-gradient reduction differs.
+    EXPECT_NEAR(a.epochs[i].mean_subtask_acc, serial.epochs[i].mean_subtask_acc,
+                1e-4);
+    EXPECT_NEAR(a.epochs[i].val_acc, serial.epochs[i].val_acc, 1e-4);
+    EXPECT_NEAR(a.epochs[i].test_acc, serial.epochs[i].test_acc, 1e-4);
+  }
+}
+
+// --- Activation-cache lifecycle --------------------------------------------
+
+TEST(CacheLifecycle, TrainingCachesInferenceDoesNot) {
+  Model m = tiny_resnet(23);
+  Rng rng(7);
+  const Tensor x = Tensor::randn(Shape{4, 3, 8, 8}, rng);
+  EXPECT_EQ(m.cache_bytes(), 0u);
+  (void)m.forward(x, /*training=*/true);
+  const std::size_t trained = m.cache_bytes();
+  EXPECT_GT(trained, 0u);
+  // An inference pass must not just skip caching — it must free stale caches.
+  (void)m.forward(x, /*training=*/false);
+  EXPECT_EQ(m.cache_bytes(), 0u);
+}
+
+TEST(CacheLifecycle, CloneCarriesNoCaches) {
+  Model m = tiny_resnet(29);
+  Rng rng(9);
+  const Tensor x = Tensor::randn(Shape{4, 3, 8, 8}, rng);
+  const std::vector<std::uint16_t> labels = {0, 1, 2, 3};
+  (void)train_step(m, serial_exec_context(), x, labels);
+  ASSERT_GT(m.cache_bytes(), 0u);
+  const Model clone = m;
+  EXPECT_EQ(clone.cache_bytes(), 0u);
+  // Same parameters though: the clone is a faithful replica.
+  EXPECT_EQ(clone.flat_params(), m.flat_params());
+}
+
+TEST(CacheLifecycle, BackwardAfterInferenceForwardThrows) {
+  Rng rng(13);
+  Dense dense(4, 3, Init::he_normal, rng);
+  const Tensor x = Tensor::randn(Shape{2, 4}, rng);
+  (void)dense.forward(x, /*training=*/false);
+  EXPECT_THROW(dense.backward(Tensor(Shape{2, 3})), Error);
+
+  Conv2D conv(1, 2, 3, 1, 1, Init::he_normal, rng);
+  const Tensor img = Tensor::randn(Shape{2, 1, 4, 4}, rng);
+  (void)conv.forward(img, /*training=*/false);
+  EXPECT_THROW(conv.backward(Tensor(Shape{2, 2, 4, 4})), Error);
+}
+
+TEST(CacheLifecycle, BackwardOnFreshCloneThrows) {
+  Rng rng(31);
+  Conv2D conv(1, 2, 3, 1, 1, Init::he_normal, rng);
+  const Tensor img = Tensor::randn(Shape{2, 1, 4, 4}, rng);
+  (void)conv.forward(img, /*training=*/true);
+  const auto clone = conv.clone();
+  EXPECT_THROW(clone->backward(Tensor(Shape{2, 2, 4, 4})), Error);
+  // The original still has its cache and can run backward.
+  (void)conv.backward(Tensor(Shape{2, 2, 4, 4}));
+}
+
+// --- Conv2D pool-vs-serial invariants --------------------------------------
+
+TEST(Conv2DThreading, PoolForwardAndInputGradBitIdenticalWeightGradClose) {
+  Rng rng(41);
+  Conv2D serial(3, 4, 3, 1, 1, Init::he_normal, rng);
+  Conv2D pooled(serial);
+  ThreadPool pool(3);
+  ExecContext ctx;
+  ctx.pool = &pool;
+  const Tensor x = Tensor::randn(Shape{7, 3, 6, 6}, rng);
+  const Tensor dy = Tensor::randn(Shape{7, 4, 6, 6}, rng);
+
+  const Tensor ys = serial.forward(x, /*training=*/true);
+  const Tensor yp = pooled.forward(x, ctx, /*training=*/true);
+  for (std::size_t i = 0; i < ys.numel(); ++i) EXPECT_EQ(ys[i], yp[i]);
+
+  serial.zero_grads();
+  pooled.zero_grads();
+  const Tensor dxs = serial.backward(dy);
+  const Tensor dxp = pooled.backward(dy, ctx);
+  // dX is per-item disjoint: bit-identical under batch splitting.
+  for (std::size_t i = 0; i < dxs.numel(); ++i) EXPECT_EQ(dxs[i], dxp[i]);
+  // dW/db reduce per-chunk partials: within tolerance, not bit-identical.
+  EXPECT_LE(ops::max_abs_diff(serial.grads()[0]->flat(),
+                              pooled.grads()[0]->flat()),
+            1e-4f);
+  EXPECT_LE(ops::max_abs_diff(serial.grads()[1]->flat(),
+                              pooled.grads()[1]->flat()),
+            1e-4f);
+}
+
+// --- ScratchArena ------------------------------------------------------------
+
+TEST(ScratchArena, ReusesSlotsAndTracksBytes) {
+  ScratchArena arena;
+  Tensor& a = arena.get(0, Shape{4, 8});
+  const float* storage = a.data();
+  a.fill(3.0f);
+  // Same slot, same shape: same tensor, same storage, contents preserved.
+  Tensor& again = arena.get(0, Shape{4, 8});
+  EXPECT_EQ(&again, &a);
+  EXPECT_EQ(again.data(), storage);
+  EXPECT_EQ(again[0], 3.0f);
+  // Shrinking reshape keeps the allocation.
+  Tensor& small = arena.get(0, Shape{2, 4});
+  EXPECT_EQ(&small, &a);
+  EXPECT_TRUE(small.shape() == (Shape{2, 4}));
+  EXPECT_EQ(small.data(), storage);
+  // Slots are independent and bytes() sums them.
+  (void)arena.get(2, Shape{10});
+  EXPECT_EQ(arena.slots(), 3u);
+  EXPECT_EQ(arena.bytes(), (2 * 4 + 0 + 10) * sizeof(float));
+  arena.release();
+  EXPECT_EQ(arena.slots(), 0u);
+  EXPECT_EQ(arena.bytes(), 0u);
+}
+
+TEST(ScratchArena, ExecContextWorkers) {
+  ExecContext ctx;
+  EXPECT_EQ(ctx.workers(), 1u);
+  ThreadPool pool(3);
+  ctx.pool = &pool;
+  EXPECT_EQ(ctx.workers(), 3u);
+}
+
+}  // namespace
+}  // namespace vcdl

@@ -57,7 +57,7 @@ struct ClientHarness {
     return std::make_unique<SimClient>(
         0, catalog.client_types[0], cfg, engine, network, catalog.server,
         files, scheduler, server, trace, Rng(seed),
-        [work](const Workunit&, ClientId) {
+        [work](const Workunit&, ClientId, ExecContext&) {
           return ExecOutcome{Blob(std::vector<std::uint8_t>(16, 7)), work};
         });
   }

@@ -162,13 +162,24 @@ TEST(Sigmoid, GradientCheck) {
 TEST(MaxPool2D, ForwardSelectsMaxAndRoutesGradient) {
   MaxPool2D layer(2);
   const Tensor x(Shape{1, 1, 2, 2}, {1.0f, 9.0f, 3.0f, 2.0f});
-  const Tensor y = layer.forward(x, false);
+  const Tensor y = layer.forward(x, /*training=*/true);
   ASSERT_EQ(y.numel(), 1u);
   EXPECT_FLOAT_EQ(y[0], 9.0f);
   const Tensor g = layer.backward(Tensor::full(Shape{1, 1, 1, 1}, 5.0f));
   EXPECT_FLOAT_EQ(g[1], 5.0f);
   EXPECT_FLOAT_EQ(g[0], 0.0f);
   EXPECT_FLOAT_EQ(g[2], 0.0f);
+}
+
+TEST(MaxPool2D, InferenceForwardDropsCacheAndRejectsBackward) {
+  MaxPool2D layer(2);
+  const Tensor x(Shape{1, 1, 2, 2}, {1.0f, 9.0f, 3.0f, 2.0f});
+  (void)layer.forward(x, /*training=*/true);
+  EXPECT_GT(layer.cache_bytes(), 0u);
+  const Tensor y = layer.forward(x, /*training=*/false);
+  EXPECT_FLOAT_EQ(y[0], 9.0f);  // same output either mode
+  EXPECT_EQ(layer.cache_bytes(), 0u);
+  EXPECT_THROW(layer.backward(Tensor::full(Shape{1, 1, 1, 1}, 5.0f)), Error);
 }
 
 TEST(MaxPool2D, RejectsIndivisibleInput) {

@@ -54,7 +54,7 @@ TEST(Scale, HundredClientsThousandUnits) {
     scheduler.add_unit(wu);
   }
 
-  const ExecuteFn exec = [](const Workunit&, ClientId) {
+  const ExecuteFn exec = [](const Workunit&, ClientId, ExecContext&) {
     return ExecOutcome{Blob(std::vector<std::uint8_t>(8, 9)), 40.0};
   };
   const auto fleet = make_client_fleet(catalog, 100, true, 0.2);

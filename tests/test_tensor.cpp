@@ -1,5 +1,8 @@
 #include "tensor/tensor.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <tuple>
 
 #include <gtest/gtest.h>
@@ -201,6 +204,95 @@ TEST(Ops, MatmulDimensionMismatchThrows) {
   const Tensor b(Shape{4, 5});
   Tensor c;
   EXPECT_THROW(ops::matmul(a, b, c), Error);
+}
+
+// Regression: the zero-skip fast path dropped B's non-finite values when the
+// matching A entry was 0, so 0 * NaN silently became 0. IEEE says NaN.
+TEST(Ops, MatmulZeroTimesNaNPropagates) {
+  Tensor a = Tensor::full(Shape{2, 3}, 1.0f);
+  a.at(0, 1) = 0.0f;  // aligned against the poisoned B row below
+  Tensor b = Tensor::full(Shape{3, 4}, 1.0f);
+  b.at(1, 2) = std::numeric_limits<float>::quiet_NaN();
+  Tensor c;
+  ops::matmul(a, b, c);
+  EXPECT_TRUE(std::isnan(c.at(0, 2)));
+  EXPECT_TRUE(std::isnan(c.at(1, 2)));
+  EXPECT_FLOAT_EQ(c.at(0, 0), 2.0f);  // unpoisoned columns unaffected
+  EXPECT_FLOAT_EQ(c.at(1, 0), 3.0f);
+}
+
+TEST(Ops, MatmulZeroTimesInfIsNaN) {
+  Tensor a = Tensor::full(Shape{1, 2}, 0.0f);
+  Tensor b = Tensor::full(Shape{2, 1}, 1.0f);
+  b.at(0, 0) = std::numeric_limits<float>::infinity();
+  Tensor c;
+  ops::matmul(a, b, c);
+  EXPECT_TRUE(std::isnan(c.at(0, 0)));  // 0 * inf = NaN, not 0
+}
+
+TEST(Ops, MatmulAtBZeroTimesNaNPropagates) {
+  Tensor a_t = Tensor::full(Shape{3, 2}, 1.0f);  // A^T, so A is 2x3
+  a_t.at(1, 0) = 0.0f;                           // A(0,1) = 0
+  Tensor b = Tensor::full(Shape{3, 2}, 1.0f);
+  b.at(1, 1) = std::numeric_limits<float>::quiet_NaN();
+  Tensor c;
+  ops::matmul_at_b(a_t, b, c);
+  EXPECT_TRUE(std::isnan(c.at(0, 1)));
+  EXPECT_FLOAT_EQ(c.at(0, 0), 2.0f);
+}
+
+TEST(Ops, MatmulZeroSkipStillExactForFiniteInputs) {
+  // Sparse A against finite B must keep taking the fast path and stay exact.
+  Rng rng(7);
+  Tensor a = Tensor::randn(Shape{9, 13}, rng);
+  for (std::size_t i = 0; i < a.numel(); i += 3) a.flat()[i] = 0.0f;
+  const Tensor b = Tensor::randn(Shape{13, 6}, rng);
+  Tensor c;
+  ops::matmul(a, b, c);
+  const Tensor ref = naive_matmul(a, b);
+  EXPECT_LT(ops::max_abs_diff(c.flat(), ref.flat()), 1e-4f);
+}
+
+void expect_bits_equal(std::span<const float> a, std::span<const float> b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << "element " << i;
+  }
+}
+
+TEST(Ops, MatViewMatmulMatchesTensorMatmul) {
+  Rng rng(11);
+  const Tensor a = Tensor::randn(Shape{5, 7}, rng);
+  const Tensor b = Tensor::randn(Shape{7, 4}, rng);
+  Tensor c_tensor, c_view;
+  ops::matmul(a, b, c_tensor);
+  ops::matmul(ops::view(a), ops::view(b), c_view);
+  expect_bits_equal(c_tensor.flat(), c_view.flat());
+
+  // A view over a sub-range of a larger buffer (no copy) works the same.
+  Tensor big(Shape{2, a.numel()});
+  std::copy(a.flat().begin(), a.flat().end(),
+            big.flat().begin() + static_cast<std::ptrdiff_t>(a.numel()));
+  const ops::MatView sub{big.data() + a.numel(), 5, 7};
+  Tensor c_sub;
+  ops::matmul(sub, ops::view(b), c_sub);
+  expect_bits_equal(c_tensor.flat(), c_sub.flat());
+}
+
+TEST(Ops, MatViewTransposedVariantsMatchTensorOverloads) {
+  Rng rng(13);
+  const Tensor a = Tensor::randn(Shape{6, 5}, rng);
+  const Tensor b = Tensor::randn(Shape{6, 3}, rng);  // for A^T * B
+  Tensor r1, r2;
+  ops::matmul_at_b(a, b, r1);
+  ops::matmul_at_b(ops::view(a), ops::view(b), r2);
+  expect_bits_equal(r1.flat(), r2.flat());
+
+  const Tensor bt = Tensor::randn(Shape{4, 5}, rng);  // for A * B^T
+  Tensor r3, r4;
+  ops::matmul_a_bt(a, bt, r3);
+  ops::matmul_a_bt(ops::view(a), ops::view(bt), r4);
+  expect_bits_equal(r3.flat(), r4.flat());
 }
 
 }  // namespace

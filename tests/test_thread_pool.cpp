@@ -74,6 +74,68 @@ TEST(ThreadPool, ParallelForExceptionPropagates) {
       std::runtime_error);
 }
 
+TEST(ThreadPool, OnWorkerThreadDistinguishesPools) {
+  ThreadPool a(2);
+  ThreadPool b(2);
+  EXPECT_FALSE(a.on_worker_thread());  // the test thread is not a worker
+  bool inside_a = false, a_inside_b = false;
+  a.submit([&] {
+    inside_a = a.on_worker_thread();
+    a_inside_b = b.on_worker_thread();
+  }).get();
+  EXPECT_TRUE(inside_a);
+  EXPECT_FALSE(a_inside_b);  // membership is per pool, not global
+}
+
+// Regression: parallel_for from inside a worker used to deadlock — the
+// nested chunks queued behind the very task blocking on them. Nested calls
+// now run inline on the calling worker.
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallel_for(0, 8, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      pool.parallel_for(0, 8, [&, i](std::size_t jlo, std::size_t jhi) {
+        for (std::size_t j = jlo; j < jhi; ++j) ++hits[i * 8 + j];
+      });
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, DeeplyNestedSubmitFromWorkerStillInline) {
+  ThreadPool pool(1);  // one worker: any queued nested work would deadlock
+  std::atomic<int> total{0};
+  pool.parallel_for(0, 4, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      pool.parallel_for(0, 4, [&](std::size_t jlo, std::size_t jhi) {
+        total += static_cast<int>(jhi - jlo);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 16);
+}
+
+TEST(ThreadPool, ParallelForIndexedChunksAreDeterministic) {
+  ThreadPool pool(3);
+  const std::size_t n = 100;
+  ASSERT_EQ(pool.max_chunks(n), 3u);
+  ASSERT_EQ(pool.max_chunks(2), 2u);  // never more chunks than items
+  std::vector<std::atomic<int>> owner(n);
+  for (auto& o : owner) o = -1;
+  pool.parallel_for_indexed(
+      0, n, [&](std::size_t chunk, std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          owner[i] = static_cast<int>(chunk);
+        }
+      });
+  // Chunk boundaries are a pure function of (range, pool size): ceil(100/3)
+  // = 34 per chunk, in index order.
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(owner[i].load(), static_cast<int>(i / 34));
+  }
+}
+
 TEST(ThreadPool, GlobalPoolIsSingleton) {
   EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
 }
