@@ -4,7 +4,9 @@
 # pool, the GEMM kernels, and the ExecContext forward/backward paths).
 #
 # Usage: ci/sanitize.sh [extra ctest args...]   (extra args apply to the
-# ASan/UBSan stage only). Set VCDL_SKIP_TSAN=1 to run just the first stage.
+# ASan/UBSan stage only). Set VCDL_SKIP_TSAN=1 to run just the first stage,
+# VCDL_TSAN_REGEX to override which suites the TSan stage runs (ci/soak.sh
+# uses this to point TSan at the property/soak tiers instead).
 # Dedicated build trees (build-sanitize/, build-tsan/) keep the regular
 # build untouched.
 set -euo pipefail
@@ -45,5 +47,6 @@ cmake --build "${TSAN_DIR}" -j "$(nproc)"
 
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 
+TSAN_REGEX="${VCDL_TSAN_REGEX:-test_thread_pool|test_tensor|test_nn_layers|test_nn_model|test_exec_threading}"
 ctest --test-dir "${TSAN_DIR}" --output-on-failure -j "$(nproc)" \
-  -R 'test_thread_pool|test_tensor|test_nn_layers|test_nn_model|test_exec_threading'
+  -R "${TSAN_REGEX}"

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Seeded soak run: the property / equivalence / fuzz / trace-replay tiers with
+# their trial counts multiplied by VCDL_SOAK, executed under ASan+UBSan and
+# then TSan (reusing ci/sanitize.sh's two-stage build).
+#
+# The tiers are the tests labelled tier2 or soak in tests/CMakeLists.txt;
+# everything stays deterministic — a failure prints a VCDL_PROP=<name>:<seed>:
+# <size> one-liner that replays the shrunk case without the soak multiplier.
+#
+# Usage: ci/soak.sh [multiplier]      (default 8)
+#   VCDL_SOAK=32 ci/soak.sh           also works; the argument wins.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+export VCDL_SOAK="${1:-${VCDL_SOAK:-8}}"
+echo "soak: running tier2/soak suites with VCDL_SOAK=${VCDL_SOAK}"
+
+# The concurrency-heavy soak suites are the ones worth TSan's ~10x slowdown;
+# the full tier2 set runs under ASan/UBSan.
+export VCDL_TSAN_REGEX='test_fuzz|test_trace_replay'
+
+ci/sanitize.sh -L 'tier2|soak'

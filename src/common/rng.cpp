@@ -102,4 +102,15 @@ Rng Rng::fork(std::uint64_t stream_id) const {
   return Rng(mix64(seed_, stream_id));
 }
 
+Rng::State Rng::state() const {
+  return State{s_, seed_, has_cached_normal_, cached_normal_};
+}
+
+void Rng::set_state(const State& state) {
+  s_ = state.s;
+  seed_ = state.seed;
+  has_cached_normal_ = state.has_cached_normal;
+  cached_normal_ = state.cached_normal;
+}
+
 }  // namespace vcdl

@@ -57,6 +57,20 @@ class Rng {
   /// Derive an independent child generator; stable for (seed, stream_id).
   Rng fork(std::uint64_t stream_id) const;
 
+  /// Full serializable generator state. Restoring it resumes the stream at
+  /// the exact draw where state() was taken — this is what lets checkpoint
+  /// replay reproduce the randomness of an uninterrupted run.
+  struct State {
+    std::array<std::uint64_t, 4> s{};
+    std::uint64_t seed = 0;
+    bool has_cached_normal = false;
+    double cached_normal = 0.0;
+
+    friend bool operator==(const State&, const State&) = default;
+  };
+  State state() const;
+  void set_state(const State& state);
+
   /// Fisher–Yates shuffle of [first, last).
   template <typename It>
   void shuffle(It first, It last) {

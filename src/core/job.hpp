@@ -142,6 +142,9 @@ struct TrainResult {
   ExperimentSpec spec;
   std::vector<EpochStats> epochs;
   RunTotals totals;
+  /// Authoritative (published) parameter vector at job end. Equivalence
+  /// oracles compare this bitwise against reference replays.
+  std::vector<float> final_params;
 
   const EpochStats& final_epoch() const;
   /// First epoch whose mean accuracy reaches `threshold` (0 = never).

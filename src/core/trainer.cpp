@@ -183,15 +183,28 @@ TrainResult VcTrainer::run() {
 
   // --- Checkpointing (grid-server crash recovery) -----------------------------
   // Replaying a snapshot through publish_initial rewinds the store value, the
-  // published parameter file, and the in-memory copy in one step.
+  // published parameter file, and the in-memory copy in one step. The state
+  // hooks additionally rewind the task RNG stream cursor, so post-restore
+  // subtasks redraw the same shuffles the lost subtasks drew — without this
+  // the resume-equivalence oracle (tests/test_equivalence.cpp) cannot hold.
+  std::uint64_t subtask_counter = 0;
   Checkpointer checkpointer(*store, "params", [&](const Blob& blob) {
     assimilator.publish_initial(load_params(blob));
   });
+  checkpointer.set_state_hooks(
+      [&] {
+        BinaryWriter w;
+        w.write(subtask_counter);
+        return w.take();
+      },
+      [&](const Blob& blob) {
+        BinaryReader r(blob);
+        subtask_counter = r.read<std::uint64_t>();
+      });
   checkpointer.snapshot();  // recovery floor: the initial weights
 
   // --- Client training callback ----------------------------------------------
   Model worker_model = template_model;  // scratch replica (DES is serial)
-  std::uint64_t subtask_counter = 0;
   const ExecuteFn execute = [&](const Workunit& unit, ClientId client,
                                 ExecContext& exec) -> ExecOutcome {
     (void)client;
@@ -313,6 +326,7 @@ TrainResult VcTrainer::run() {
   result.totals.bytes_wire = files.stats().bytes_wire;
   result.totals.duplicates = server.stats().duplicates;
   result.totals.parameter_count = template_model.parameter_count();
+  result.final_params = assimilator.published_params();
   return result;
 }
 

@@ -1,6 +1,7 @@
 #include "nn/dense.hpp"
 
 #include "common/rng.hpp"
+#include "nn/test_hooks.hpp"
 #include "tensor/ops.hpp"
 
 namespace vcdl {
@@ -42,6 +43,11 @@ Tensor Dense::backward(const Tensor& grad_out, ExecContext& ctx) {
   // dW += x^T · dY — row-split over dW rows, so parallel runs stay
   // bit-identical to serial ones.
   ops::matmul_at_b(last_x_, grad_out, dw_, /*accumulate=*/true, ctx.pool);
+  if (nn_hooks::wrong_dense_gradient) {
+    // Test-only sabotage (see nn/test_hooks.hpp): a gradient checker that
+    // does not flag this is broken.
+    for (auto& g : dw_.flat()) g *= 1.5f;
+  }
   // db += column sums of dY
   const std::size_t batch = grad_out.shape()[0];
   for (std::size_t b = 0; b < batch; ++b) {

@@ -66,6 +66,14 @@ std::unique_ptr<Layer> read_layer(BinaryReader& r, Rng& rng) {
 
 }  // namespace
 
+const std::vector<std::string>& registered_layer_kinds() {
+  // Keep in sync with read_layer() above.
+  static const std::vector<std::string> kinds = {
+      "dense",   "conv2d",    "relu",    "tanh",    "sigmoid",
+      "flatten", "gavgpool",  "maxpool2d", "dropout", "residual"};
+  return kinds;
+}
+
 Blob save_architecture(const Model& model) {
   BinaryWriter w;
   w.write(kArchMagic);

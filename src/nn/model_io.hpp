@@ -6,10 +6,19 @@
 // fresh parameter copy with every subtask.
 #pragma once
 
+#include <string>
+#include <vector>
+
 #include "common/blob.hpp"
 #include "nn/model.hpp"
 
 namespace vcdl {
+
+/// Every Layer::kind() the (de)serializer understands — the authoritative
+/// list of registered layer types. The gradient-check grid in vcdl::testing
+/// asserts it covers each of these, so adding a layer here without a
+/// gradcheck case fails tests until one is written.
+const std::vector<std::string>& registered_layer_kinds();
 
 /// Serializes the layer stack (kinds + hyperparameters, no weights).
 Blob save_architecture(const Model& model);

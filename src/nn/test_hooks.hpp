@@ -1,0 +1,16 @@
+// Test-only sabotage hooks.
+//
+// Each flag deliberately corrupts one analytic gradient so the property
+// suite can prove the finite-difference gradient checker has teeth (the
+// mutation smoke test in tests/test_properties.cpp): with the flag on, the
+// checker MUST report a failure. All flags default to off and cost one
+// predictable branch on the backward path; production code never sets them.
+#pragma once
+
+namespace vcdl::nn_hooks {
+
+/// When true, Dense::backward scales its weight gradient by 1.5 — a wrong
+/// gradient the checker must catch.
+inline bool wrong_dense_gradient = false;
+
+}  // namespace vcdl::nn_hooks

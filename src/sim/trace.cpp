@@ -1,6 +1,26 @@
 #include "sim/trace.hpp"
 
+#include <bit>
+#include <cstdio>
+
 namespace vcdl {
+namespace {
+
+// FNV-1a over arbitrary bytes, continuing from `h`.
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t size) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a(std::uint64_t h, const std::string& s) {
+  return fnv1a(h, s.data(), s.size());
+}
+
+}  // namespace
 
 const char* trace_kind_name(TraceKind kind) {
   switch (kind) {
@@ -34,6 +54,31 @@ void TraceLog::record(SimTime time, TraceKind kind, std::string actor,
                       std::string detail) {
   if (!enabled_) return;
   events_.push_back(TraceEvent{time, kind, std::move(actor), std::move(detail)});
+}
+
+std::string TraceDigest::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "events=%zu hash=%016llx", events,
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+TraceDigest TraceLog::digest() const {
+  TraceDigest d;
+  d.hash = 0xcbf29ce484222325ull;  // FNV offset basis
+  for (const auto& e : events_) {
+    const auto time_bits = std::bit_cast<std::uint64_t>(e.time);
+    d.hash = fnv1a(d.hash, &time_bits, sizeof(time_bits));
+    const auto kind = static_cast<std::uint8_t>(e.kind);
+    d.hash = fnv1a(d.hash, &kind, sizeof(kind));
+    // Length-prefix the strings so ("ab","c") and ("a","bc") differ.
+    const std::uint64_t actor_len = e.actor.size();
+    d.hash = fnv1a(d.hash, &actor_len, sizeof(actor_len));
+    d.hash = fnv1a(d.hash, e.actor);
+    d.hash = fnv1a(d.hash, e.detail);
+    ++d.events;
+  }
+  return d;
 }
 
 std::size_t TraceLog::count(TraceKind kind) const {

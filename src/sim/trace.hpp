@@ -49,6 +49,19 @@ struct TraceEvent {
   std::string detail;  // free-form, e.g. "wu=epoch2/shard17"
 };
 
+/// Order-sensitive fingerprint of a whole trace: every event's exact virtual
+/// timestamp bits, kind, actor and detail are folded into one 64-bit hash in
+/// recording order. Two runs with the same seed must produce equal digests —
+/// the determinism contract the chaos suite pins (docs/TESTING.md); any
+/// reordering, drop, or float drift in virtual time changes the digest.
+struct TraceDigest {
+  std::uint64_t hash = 0;
+  std::size_t events = 0;
+
+  friend bool operator==(const TraceDigest&, const TraceDigest&) = default;
+  std::string to_string() const;  // "events=N hash=0123456789abcdef"
+};
+
 class TraceLog {
  public:
   void set_enabled(bool enabled) { enabled_ = enabled; }
@@ -58,6 +71,8 @@ class TraceLog {
               std::string detail = {});
 
   const std::vector<TraceEvent>& events() const { return events_; }
+  /// Digest of the events recorded so far (see TraceDigest).
+  TraceDigest digest() const;
   std::size_t count(TraceKind kind) const;
   /// Events of one kind in time order.
   std::vector<TraceEvent> filter(TraceKind kind) const;

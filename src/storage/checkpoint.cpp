@@ -10,10 +10,18 @@ Checkpointer::Checkpointer(KvStore& store, std::string key, Republish republish)
   VCDL_CHECK(republish_ != nullptr, "Checkpointer: null republish hook");
 }
 
+void Checkpointer::set_state_hooks(CaptureState capture, RestoreState restore) {
+  VCDL_CHECK((capture != nullptr) == (restore != nullptr),
+             "Checkpointer: state hooks must be set as a pair");
+  capture_state_ = std::move(capture);
+  restore_state_ = std::move(restore);
+}
+
 bool Checkpointer::snapshot() {
   const auto current = store_.get(key_);
   if (!current.has_value()) return false;
   snap_ = current->value;
+  if (capture_state_) state_snap_ = capture_state_();
   ++stats_.snapshots;
   return true;
 }
@@ -21,6 +29,7 @@ bool Checkpointer::snapshot() {
 bool Checkpointer::restore() {
   if (!snap_.has_value()) return false;
   republish_(*snap_);
+  if (restore_state_ && state_snap_.has_value()) restore_state_(*state_snap_);
   ++stats_.restores;
   return true;
 }

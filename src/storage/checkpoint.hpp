@@ -32,7 +32,18 @@ class Checkpointer {
   /// publish + published-copy reset).
   using Republish = std::function<void(const Blob&)>;
 
+  /// Optional side-channel for non-parameter state (RNG stream cursors,
+  /// counters, …). `capture` serializes it at snapshot() time; `restore`
+  /// replays it after the parameter republish. Without this channel a
+  /// restored run re-draws different task RNG streams than the run it is
+  /// rewinding, so resume-equivalence (tests/test_equivalence.cpp) cannot
+  /// hold.
+  using CaptureState = std::function<Blob()>;
+  using RestoreState = std::function<void(const Blob&)>;
+
   Checkpointer(KvStore& store, std::string key, Republish republish);
+
+  void set_state_hooks(CaptureState capture, RestoreState restore);
 
   /// Copies the current store value under `key`; false when the key is
   /// missing (nothing published yet).
@@ -49,7 +60,10 @@ class Checkpointer {
   KvStore& store_;
   std::string key_;
   Republish republish_;
+  CaptureState capture_state_;
+  RestoreState restore_state_;
   std::optional<Blob> snap_;
+  std::optional<Blob> state_snap_;
   Stats stats_;
 };
 

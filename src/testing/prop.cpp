@@ -1,0 +1,132 @@
+#include "testing/prop.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+
+#include "common/error.hpp"
+
+namespace vcdl::testing {
+namespace {
+
+struct ReplayFilter {
+  std::string name;
+  std::uint64_t seed = 0;
+  int size = 0;
+};
+
+// Parses VCDL_PROP ("name:seedhex:size"); nullopt when unset. Malformed
+// values throw — silently ignoring a typo'd repro command would "pass" the
+// suite without re-running the case.
+std::optional<ReplayFilter> replay_filter() {
+  const char* env = std::getenv("VCDL_PROP");
+  if (env == nullptr || *env == '\0') return std::nullopt;
+  const std::string raw = env;
+  const auto first = raw.find(':');
+  const auto second = raw.find(':', first == std::string::npos ? first : first + 1);
+  VCDL_CHECK(first != std::string::npos && second != std::string::npos,
+             "VCDL_PROP must be <name>:<seedhex>:<size>, got '" + raw + "'");
+  ReplayFilter f;
+  f.name = raw.substr(0, first);
+  f.seed = std::strtoull(raw.substr(first + 1, second - first - 1).c_str(),
+                         nullptr, 16);
+  f.size = std::atoi(raw.substr(second + 1).c_str());
+  VCDL_CHECK(!f.name.empty() && f.size > 0,
+             "VCDL_PROP must be <name>:<seedhex>:<size>, got '" + raw + "'");
+  return f;
+}
+
+std::string repro_command(const PropConfig& config, std::uint64_t seed,
+                          int size) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s:%016llx:%d", config.name.c_str(),
+                static_cast<unsigned long long>(seed), size);
+  const std::string suite = config.suite.empty() ? config.name : config.suite;
+  return "VCDL_PROP=" + std::string(buf) +
+         " ctest --test-dir build -R " + suite + " --output-on-failure";
+}
+
+// Runs one (seed, size) case; returns the failure message, empty on pass.
+std::string run_case(const PropertyFn& body, std::uint64_t seed, int size) {
+  Rng rng(seed);
+  try {
+    body(rng, size);
+    return {};
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "non-standard exception";
+  }
+}
+
+}  // namespace
+
+void prop_assert(bool cond, const std::string& message) {
+  if (!cond) throw PropFailure(message);
+}
+
+int soak_multiplier() {
+  const char* env = std::getenv("VCDL_SOAK");
+  if (env == nullptr || *env == '\0') return 1;
+  const int mult = std::atoi(env);
+  return mult >= 1 ? mult : 1;
+}
+
+PropResult run_property(const PropConfig& config, const PropertyFn& body) {
+  VCDL_CHECK(!config.name.empty(), "run_property: property needs a name");
+  VCDL_CHECK(config.trials > 0, "run_property: trials must be positive");
+  VCDL_CHECK(config.min_size >= 1 && config.min_size <= config.max_size,
+             "run_property: bad size range");
+  PropResult result;
+
+  const auto filter = replay_filter();
+  if (filter.has_value()) {
+    if (filter->name != config.name) return result;  // skipped, passes
+    result.trials_run = 1;
+    const std::string msg = run_case(body, filter->seed, filter->size);
+    if (!msg.empty()) {
+      result.passed = false;
+      result.failing_seed = filter->seed;
+      result.failing_size = filter->size;
+      result.message = msg;
+      result.repro = repro_command(config, filter->seed, filter->size);
+    }
+    return result;
+  }
+
+  const int sizes = config.max_size - config.min_size + 1;
+  const int total = config.trials * soak_multiplier();
+  for (int trial = 0; trial < total; ++trial) {
+    // Per-trial seed is a pure mix of the base seed and the trial index, so
+    // any trial replays independently of the others.
+    const std::uint64_t seed =
+        mix64(config.base_seed, static_cast<std::uint64_t>(trial));
+    Rng size_rng(mix64(seed, 0x517Eull));
+    const int size =
+        config.min_size +
+        static_cast<int>(size_rng.uniform_index(static_cast<std::uint64_t>(sizes)));
+    ++result.trials_run;
+    std::string msg = run_case(body, seed, size);
+    if (msg.empty()) continue;
+
+    // Shrink: smallest size (same seed) that still fails.
+    int shrunk = size;
+    for (int s = config.min_size; s < size; ++s) {
+      const std::string small_msg = run_case(body, seed, s);
+      if (!small_msg.empty()) {
+        shrunk = s;
+        msg = small_msg;
+        break;
+      }
+    }
+    result.passed = false;
+    result.failing_seed = seed;
+    result.failing_size = shrunk;
+    result.message = msg;
+    result.repro = repro_command(config, seed, shrunk);
+    return result;
+  }
+  return result;
+}
+
+}  // namespace vcdl::testing

@@ -1,0 +1,78 @@
+// Seeded property-based testing harness.
+//
+// A property is a predicate over randomly generated cases. Every case is a
+// pure function of a (seed, size) pair: the harness hands the body a fresh
+// Rng seeded for the trial plus a size knob, and the body derives everything
+// else from them. That purity is what buys the two features ad-hoc random
+// tests lack:
+//
+//   * shrinking — on failure the harness rescans sizes upward from min_size
+//     with the failing seed and reports the SMALLEST size that still fails,
+//     so the counterexample you debug is the simplest one the generator can
+//     express;
+//   * replay — the failure report includes a one-line repro command that
+//     re-runs exactly the shrunk case via the VCDL_PROP environment variable
+//     (format "name:seedhex:size"). When VCDL_PROP is set, every property
+//     except the named one is skipped and the named one runs only that case.
+//
+// Trial counts scale with the VCDL_SOAK multiplier (default 1) so the same
+// suites serve both the fast tier-2 run and the sanitizer soak run
+// (ci/soak.sh). See docs/TESTING.md.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "common/rng.hpp"
+
+namespace vcdl::testing {
+
+/// Thrown by prop_assert; any other exception escaping the body also counts
+/// as a failure (and its what() is reported).
+class PropFailure : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Fails the current property trial with `message` when `cond` is false.
+void prop_assert(bool cond, const std::string& message);
+
+struct PropConfig {
+  /// Unique property name; the VCDL_PROP replay filter matches on it.
+  std::string name;
+  /// ctest -R pattern that reaches this property (usually the test binary
+  /// name); empty falls back to `name`.
+  std::string suite;
+  std::uint64_t base_seed = 0x5EEDBA5Eull;
+  /// Trials per run, before the VCDL_SOAK multiplier.
+  int trials = 25;
+  /// Size knob range handed to the body (inclusive).
+  int min_size = 1;
+  int max_size = 24;
+};
+
+struct PropResult {
+  bool passed = true;
+  /// Trials actually executed (0 when skipped by a VCDL_PROP filter for a
+  /// different property).
+  int trials_run = 0;
+  std::uint64_t failing_seed = 0;
+  int failing_size = 0;  // after shrinking
+  std::string message;   // first failure's message
+  std::string repro;     // one-line command replaying the shrunk case
+};
+
+/// The property body. Must derive all randomness from `rng` and scale the
+/// case with `size`; throws (prop_assert or otherwise) to fail the trial.
+using PropertyFn = std::function<void(Rng& rng, int size)>;
+
+/// Runs `body` over the configured trial grid; on failure shrinks to the
+/// minimal failing size for the failing seed and fills in the repro command.
+PropResult run_property(const PropConfig& config, const PropertyFn& body);
+
+/// VCDL_SOAK environment multiplier on trial counts (>= 1; default 1).
+int soak_multiplier();
+
+}  // namespace vcdl::testing

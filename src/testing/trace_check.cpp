@@ -1,0 +1,72 @@
+#include "testing/trace_check.hpp"
+
+#include <map>
+#include <utility>
+
+namespace vcdl::testing {
+namespace {
+
+struct LifecycleCounts {
+  std::size_t started = 0;
+  std::size_t done = 0;
+  std::size_t uploaded = 0;
+};
+
+std::string describe(const TraceEvent& e, std::size_t index) {
+  return std::string(trace_kind_name(e.kind)) + " by " + e.actor + " (" +
+         e.detail + ") at t=" + std::to_string(e.time) + " [event #" +
+         std::to_string(index) + "]";
+}
+
+}  // namespace
+
+CausalityReport validate_causality(const TraceLog& trace) {
+  CausalityReport report;
+  double last_time = 0.0;
+  // Keyed by (actor, workunit label): retries and reassignments of the same
+  // unit to different clients track independently.
+  std::map<std::pair<std::string, std::string>, LifecycleCounts> units;
+
+  const auto& events = trace.events();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    ++report.events_checked;
+    if (e.time < last_time) {
+      report.ok = false;
+      report.violation = "virtual time went backwards: " + describe(e, i) +
+                         " after t=" + std::to_string(last_time);
+      return report;
+    }
+    last_time = e.time;
+
+    auto& counts = units[{e.actor, e.detail}];
+    switch (e.kind) {
+      case TraceKind::exec_start:
+        ++counts.started;
+        break;
+      case TraceKind::exec_done:
+        ++counts.done;
+        if (counts.done > counts.started) {
+          report.ok = false;
+          report.violation =
+              "exec_done without a matching exec_start: " + describe(e, i);
+          return report;
+        }
+        break;
+      case TraceKind::upload:
+        ++counts.uploaded;
+        if (counts.uploaded > counts.done) {
+          report.ok = false;
+          report.violation =
+              "upload without a matching exec_done: " + describe(e, i);
+          return report;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return report;
+}
+
+}  // namespace vcdl::testing

@@ -1,0 +1,33 @@
+// Trace causality validation.
+//
+// TraceDigest (sim/trace.hpp) asserts two runs are identical; this validator
+// asserts a single run is *sensible*: virtual time never goes backwards and
+// every subtask lifecycle respects its causal order (a client cannot finish
+// an execution it never started, nor upload a result it never finished).
+// The chaos suites run it on fault-injected traces, where retries,
+// preemptions and crashes make the lifecycle genuinely non-trivial —
+// exec_start without exec_done (preempted mid-run) is legal, the reverse is
+// a bug.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "sim/trace.hpp"
+
+namespace vcdl::testing {
+
+struct CausalityReport {
+  bool ok = true;
+  std::size_t events_checked = 0;
+  std::string violation;  // first violation, human-readable
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Checks `trace` for monotone virtual time and per-(actor, workunit)
+/// lifecycle order: #exec_done ≤ #exec_start and #upload ≤ #exec_done at
+/// every prefix of the trace.
+CausalityReport validate_causality(const TraceLog& trace);
+
+}  // namespace vcdl::testing

@@ -22,52 +22,17 @@
 #include "nn/model_zoo.hpp"
 #include "tensor/exec_context.hpp"
 #include "tensor/ops.hpp"
+#include "testing/oracles.hpp"
 
 namespace vcdl {
 namespace {
 
-// Mirror of test_trainer_integration's miniature job.
-ExperimentSpec tiny_spec() {
-  ExperimentSpec spec;
-  spec.parameter_servers = 2;
-  spec.clients = 2;
-  spec.tasks_per_client = 2;
-  spec.num_shards = 8;
-  spec.max_epochs = 2;
-  spec.local_epochs = 1;
-  spec.batch_size = 10;
-  spec.validation_subsample = 32;
-  spec.data.height = 8;
-  spec.data.width = 8;
-  spec.data.train = 160;
-  spec.data.validation = 60;
-  spec.data.test = 60;
-  spec.model.height = 8;
-  spec.model.width = 8;
-  spec.model.base_filters = 4;
-  spec.model.blocks = 1;
-  return spec;
-}
+// The shared miniature job + helpers (testing/oracles.hpp). The golden
+// values below are pinned to tiny_image_spec — see its doc comment.
+using testing::tiny_resnet;
+using testing::train_step;
 
-Model tiny_resnet(std::uint64_t seed) {
-  return make_resnet_lite(ResNetLiteSpec{.channels = 3,
-                                         .height = 8,
-                                         .width = 8,
-                                         .base_filters = 4,
-                                         .blocks = 1,
-                                         .classes = 10},
-                          seed);
-}
-
-// One training step on `model`; returns the logits and leaves gradients set.
-Tensor train_step(Model& model, ExecContext& ctx, const Tensor& x,
-                  std::span<const std::uint16_t> labels) {
-  const Tensor logits = model.forward(x, ctx, /*training=*/true);
-  const auto loss = softmax_cross_entropy(logits, labels);
-  model.zero_grads();
-  model.backward(loss.grad, ctx);
-  return logits;
-}
+ExperimentSpec tiny_spec() { return testing::tiny_image_spec(); }
 
 // --- Golden regression: serial path is bit-identical to the pre-PR seed ----
 //

@@ -1,0 +1,234 @@
+// Property tier: harness meta-tests, the universal gradient-check grid, and
+// the mutation smoke test proving the checker has teeth. See docs/TESTING.md
+// for the tier contract and how to replay a shrunk failing seed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <set>
+
+#include "common/rng.hpp"
+#include "nn/model_io.hpp"
+#include "nn/test_hooks.hpp"
+#include "testing/generators.hpp"
+#include "testing/gradcheck.hpp"
+#include "testing/prop.hpp"
+
+namespace vcdl {
+namespace {
+
+using testing::GradCheckResult;
+using testing::PropConfig;
+using testing::PropResult;
+using testing::all_layer_cases;
+using testing::check_layer_gradients;
+using testing::check_softmax_xent_gradients;
+using testing::gen_labels;
+using testing::gen_separated_tensor;
+using testing::gen_shape;
+using testing::gen_tensor;
+using testing::prop_assert;
+using testing::run_property;
+
+// Meta-tests exercise the harness's own failure path, which a VCDL_PROP
+// replay filter would bypass — skip them under replay.
+bool replaying() { return std::getenv("VCDL_PROP") != nullptr; }
+
+// --- Harness meta-tests -----------------------------------------------------
+
+TEST(PropHarness, PassingPropertyRunsAllTrials) {
+  PropConfig cfg;
+  cfg.name = "meta.trivially-true";
+  cfg.suite = "test_properties";
+  cfg.trials = 10;
+  const PropResult r = run_property(cfg, [](Rng&, int) {});
+  if (replaying()) return;  // filter may have skipped it
+  EXPECT_TRUE(r.passed);
+  EXPECT_GE(r.trials_run, 10);
+}
+
+TEST(PropHarness, FailureShrinksToMinimalSizeWithReproCommand) {
+  if (replaying()) GTEST_SKIP() << "VCDL_PROP replay active";
+  PropConfig cfg;
+  cfg.name = "meta.fails-at-size-5";
+  cfg.suite = "test_properties";
+  cfg.trials = 50;
+  cfg.min_size = 1;
+  cfg.max_size = 16;
+  const PropResult r = run_property(cfg, [](Rng&, int size) {
+    prop_assert(size < 5, "size reached " + std::to_string(size));
+  });
+  ASSERT_FALSE(r.passed);
+  // Shrinking must land on the smallest failing size, not whatever size the
+  // trial grid happened to fail at first.
+  EXPECT_EQ(r.failing_size, 5);
+  EXPECT_NE(r.message.find("size reached 5"), std::string::npos);
+  EXPECT_NE(r.repro.find("VCDL_PROP=meta.fails-at-size-5:"), std::string::npos);
+  EXPECT_NE(r.repro.find("-R test_properties"), std::string::npos);
+}
+
+TEST(PropHarness, GeneratorsAreDeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  const Shape sa = gen_shape(a, 8);
+  const Shape sb = gen_shape(b, 8);
+  ASSERT_TRUE(sa == sb);
+  const Tensor ta = gen_tensor(a, sa);
+  const Tensor tb = gen_tensor(b, sb);
+  ASSERT_EQ(ta.numel(), tb.numel());
+  for (std::size_t i = 0; i < ta.numel(); ++i) EXPECT_EQ(ta[i], tb[i]);
+  // A different seed must not replay the same stream.
+  const Shape sc = gen_shape(c, 8);
+  const Tensor tc = gen_tensor(c, sa);
+  bool differs = !(sc == sa);
+  for (std::size_t i = 0; i < ta.numel() && !differs; ++i) {
+    differs = ta[i] != tc[i];
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(PropHarness, SeparatedTensorKeepsGapsAndMagnitude) {
+  Rng rng(7);
+  const float step = 0.12f;
+  const Tensor t = gen_separated_tensor(rng, Shape{4, 9}, step);
+  const auto f = t.flat();
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    EXPECT_GE(std::fabs(f[i]), 0.375f * step) << "element " << i;
+    for (std::size_t j = i + 1; j < f.size(); ++j) {
+      EXPECT_GE(std::fabs(f[i] - f[j]), 0.75f * step)
+          << "elements " << i << ", " << j;
+    }
+  }
+}
+
+TEST(PropHarness, RngStateRoundTripReplaysStream) {
+  Rng rng(123);
+  for (int i = 0; i < 17; ++i) (void)rng();
+  (void)rng.normal();  // leaves a cached Box–Muller half in the state
+  const Rng::State snap = rng.state();
+  std::vector<double> expected;
+  for (int i = 0; i < 32; ++i) expected.push_back(rng.normal());
+  Rng replay(999);  // arbitrary different start
+  replay.set_state(snap);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(replay.normal(), expected[i]);
+  EXPECT_TRUE(replay.state() == rng.state());
+}
+
+// --- The gradient-check grid ------------------------------------------------
+
+TEST(GradCheck, GridCoversEveryRegisteredLayerKind) {
+  std::set<std::string> covered;
+  Rng rng(1);
+  for (const auto& layer_case : all_layer_cases()) {
+    // The case's declared kind must match what it actually builds.
+    EXPECT_EQ(layer_case.make(rng)->kind(), layer_case.kind);
+    covered.insert(layer_case.kind);
+  }
+  for (const auto& kind : registered_layer_kinds()) {
+    EXPECT_TRUE(covered.count(kind))
+        << "registered layer kind '" << kind
+        << "' has no gradient-check case (testing/gradcheck.cpp)";
+  }
+  EXPECT_EQ(covered.size(), registered_layer_kinds().size());
+}
+
+TEST(GradCheck, EveryLayerKindPassesFiniteDifferences) {
+  for (const auto& layer_case : all_layer_cases()) {
+    PropConfig cfg;
+    cfg.name = "props.gradcheck-" + layer_case.kind;
+    cfg.suite = "test_properties";
+    cfg.trials = 4;
+    cfg.max_size = 4;  // size is unused by the grid cases; keep trials cheap
+    const PropResult r = run_property(cfg, [&](Rng& rng, int) {
+      const auto layer = layer_case.make(rng);
+      const Tensor x = layer_case.make_input(rng);
+      const GradCheckResult res = check_layer_gradients(*layer, x, rng);
+      prop_assert(res.checked > 0, layer_case.kind + ": nothing checked");
+      prop_assert(res.passed, layer_case.kind + ": " + res.detail);
+    });
+    EXPECT_TRUE(r.passed) << r.message << "\nreplay: " << r.repro;
+  }
+}
+
+TEST(GradCheck, SoftmaxCrossEntropyMatchesFiniteDifferences) {
+  PropConfig cfg;
+  cfg.name = "props.gradcheck-loss";
+  cfg.suite = "test_properties";
+  cfg.trials = 8;
+  cfg.max_size = 8;
+  const PropResult r = run_property(cfg, [](Rng& rng, int size) {
+    const std::size_t batch = 1 + rng.uniform_index(static_cast<std::uint64_t>(size));
+    const std::size_t classes = 2 + rng.uniform_index(8);
+    const GradCheckResult res =
+        check_softmax_xent_gradients(batch, classes, rng);
+    prop_assert(res.passed, "softmax_xent: " + res.detail);
+  });
+  EXPECT_TRUE(r.passed) << r.message << "\nreplay: " << r.repro;
+}
+
+// --- Mutation smoke test ----------------------------------------------------
+//
+// Flip the test-only sabotage hook (nn/test_hooks.hpp) and the checker MUST
+// flag the dense layer: a gradient checker that cannot see a 1.5x-scaled
+// weight gradient would wave through real backward bugs too.
+
+struct HookGuard {
+  HookGuard() { nn_hooks::wrong_dense_gradient = true; }
+  ~HookGuard() { nn_hooks::wrong_dense_gradient = false; }
+};
+
+TEST(GradCheckMutation, WrongDenseGradientIsCaught) {
+  const auto cases = all_layer_cases();
+  const auto dense = std::find_if(
+      cases.begin(), cases.end(),
+      [](const auto& layer_case) { return layer_case.kind == "dense"; });
+  ASSERT_NE(dense, cases.end());
+  const HookGuard guard;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    Rng rng(seed);
+    const auto layer = dense->make(rng);
+    const Tensor x = dense->make_input(rng);
+    const GradCheckResult res = check_layer_gradients(*layer, x, rng);
+    EXPECT_FALSE(res.passed)
+        << "seed " << seed
+        << ": sabotaged dense gradient slipped past the checker ("
+        << res.detail << ")";
+  }
+}
+
+TEST(GradCheckMutation, HookOffPassesAgain) {
+  // Guard against the hook leaking into other tests: with the flag back off
+  // the same case must pass.
+  ASSERT_FALSE(nn_hooks::wrong_dense_gradient);
+  const auto cases = all_layer_cases();
+  const auto dense = std::find_if(
+      cases.begin(), cases.end(),
+      [](const auto& layer_case) { return layer_case.kind == "dense"; });
+  Rng rng(1);
+  const auto layer = dense->make(rng);
+  const Tensor x = dense->make_input(rng);
+  EXPECT_TRUE(check_layer_gradients(*layer, x, rng).passed);
+}
+
+// --- Generator smoke: labels and blobs --------------------------------------
+
+TEST(Generators, LabelsStayInRangeAndBlobsVaryInLength) {
+  PropConfig cfg;
+  cfg.name = "props.generators-basic";
+  cfg.suite = "test_properties";
+  cfg.trials = 20;
+  const PropResult r = run_property(cfg, [](Rng& rng, int size) {
+    const std::size_t classes = 1 + rng.uniform_index(12);
+    const auto labels =
+        gen_labels(rng, static_cast<std::size_t>(size), classes);
+    for (const auto l : labels) {
+      prop_assert(l < classes, "label out of range");
+    }
+    const Blob blob = testing::gen_blob(rng, 64);
+    prop_assert(blob.size() <= 64, "blob over max length");
+  });
+  EXPECT_TRUE(r.passed) << r.message << "\nreplay: " << r.repro;
+}
+
+}  // namespace
+}  // namespace vcdl

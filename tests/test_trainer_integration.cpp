@@ -9,33 +9,14 @@
 
 #include "core/report.hpp"
 #include "core/trainer.hpp"
+#include "testing/oracles.hpp"
 
 namespace vcdl {
 namespace {
 
-// Miniature job: 8 shards of a small dataset, 2 epochs, tiny model.
-ExperimentSpec tiny_spec() {
-  ExperimentSpec spec;
-  spec.parameter_servers = 2;
-  spec.clients = 2;
-  spec.tasks_per_client = 2;
-  spec.num_shards = 8;
-  spec.max_epochs = 2;
-  spec.local_epochs = 1;
-  spec.batch_size = 10;
-  spec.validation_subsample = 32;
-  spec.data.height = 8;
-  spec.data.width = 8;
-  spec.data.train = 160;
-  spec.data.validation = 60;
-  spec.data.test = 60;
-  spec.model.height = 8;
-  spec.model.width = 8;
-  spec.model.base_filters = 4;
-  spec.model.blocks = 1;
-  spec.trace = true;
-  return spec;
-}
+// The shared miniature job (testing/oracles.hpp): 8 shards of a small
+// dataset, 2 epochs, tiny model, with tracing on.
+ExperimentSpec tiny_spec() { return testing::tiny_image_spec(/*trace=*/true); }
 
 TEST(TrainerIntegration, CompletesAndRecordsEpochs) {
   const TrainResult result = run_experiment(tiny_spec());
