@@ -85,5 +85,10 @@ int main(int argc, char** argv) {
   crashes.print(std::cout);
   std::cout << "(each crash rewinds to the last checkpoint and re-runs lost "
                "units; the job completes every time)\n";
+
+  // Telemetry export: each run resets the registry at entry, so this is the
+  // final (heaviest-crash) run's fault/recovery counters and latency
+  // histograms — the chaos profile at the top of the sweep.
+  bench::write_obs_json("chaos", cfg.get_string("obs_out", "BENCH_obs.json"));
   return 0;
 }

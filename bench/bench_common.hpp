@@ -4,6 +4,7 @@
 // default fast preset can be scaled up toward the paper's full 40-epoch runs.
 #pragma once
 
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -11,6 +12,8 @@
 #include "common/table.hpp"
 #include "core/job.hpp"
 #include "core/trainer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
 
 namespace vcdl::bench {
 
@@ -51,6 +54,24 @@ inline void add_epoch_rows(Table& table, const std::string& series,
                    Table::fmt(e.max_subtask_acc), Table::fmt(e.std_subtask_acc),
                    Table::fmt(e.val_acc), Table::fmt(e.test_acc)});
   }
+}
+
+/// Exports the current global-registry telemetry as BENCH_obs.json (or
+/// `path`): the full MetricsSnapshot JSON wrapped with bench identity.
+/// Outside a simulation the registry runs on the wall clock, so hot-path
+/// span histograms (exec.gemm_s, exec.im2col_s, ...) carry real kernel-time
+/// distributions. Note VcTrainer::run() resets the registry at entry — after
+/// a sweep of runs the snapshot covers exactly the last run.
+inline void write_obs_json(const std::string& bench_name,
+                           const std::string& path) {
+  std::string metrics = obs::registry().snapshot().to_json();
+  while (!metrics.empty() && metrics.back() == '\n') metrics.pop_back();
+  std::ofstream out(path);
+  out << "{\n"
+      << "  \"schema_version\": 1,\n"
+      << "  \"bench\": \"" << bench_name << "\",\n"
+      << "  \"metrics\": " << metrics << "\n}\n";
+  std::cout << "wrote " << path << "\n";
 }
 
 inline void print_run_summary(const TrainResult& r) {

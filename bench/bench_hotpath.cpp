@@ -63,6 +63,10 @@ int main(int argc, char** argv) {
     labels[i] = static_cast<std::uint16_t>(i % spec.classes);
   }
 
+  // Scope the wall-clock span telemetry (exec.gemm_s etc.) to the measured
+  // sweep; exported as BENCH_obs.json below.
+  obs::registry().reset_values();
+
   const std::vector<std::size_t> widths = {1, 2, 4, 8};
   std::vector<ThreadResult> results;
   for (const std::size_t threads : widths) {
@@ -131,5 +135,12 @@ int main(int argc, char** argv) {
   }
   out << "  ]\n}\n";
   std::cout << "wrote " << json_path << "\n";
+
+  // Kernel-time telemetry from the same sweep: span counts and wall-clock
+  // latency distributions for the GEMM/im2col hot paths.
+  const auto& gemm = obs::registry().histogram("exec.gemm_s", {0.0, 0.05, 50});
+  std::cout << "exec.gemm_s: " << gemm.count() << " spans, p95 "
+            << Table::fmt(gemm.percentile(0.95) * 1e3, 3) << " ms\n";
+  bench::write_obs_json("hotpath", cfg.get_string("obs_out", "BENCH_obs.json"));
   return 0;
 }

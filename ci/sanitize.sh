@@ -26,7 +26,10 @@ cmake --build "${BUILD_DIR}" -j "$(nproc)"
 export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 
-ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" "$@"
+# --no-tests=error: a label/regex filter that matches nothing is a CI bug
+# (the suite silently "passed" without running), not a success.
+ctest --test-dir "${BUILD_DIR}" --output-on-failure --no-tests=error \
+  -j "$(nproc)" "$@"
 
 if [[ "${VCDL_SKIP_TSAN:-0}" == "1" ]]; then
   echo "VCDL_SKIP_TSAN=1 — skipping the TSan stage."
@@ -47,6 +50,11 @@ cmake --build "${TSAN_DIR}" -j "$(nproc)"
 
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 
-TSAN_REGEX="${VCDL_TSAN_REGEX:-test_thread_pool|test_tensor|test_nn_layers|test_nn_model|test_exec_threading}"
-ctest --test-dir "${TSAN_DIR}" --output-on-failure -j "$(nproc)" \
-  -R "${TSAN_REGEX}"
+TSAN_REGEX="${VCDL_TSAN_REGEX:-test_thread_pool|test_tensor|test_nn_layers|test_nn_model|test_exec_threading|test_obs}"
+# Explicit status propagation: the TSan ctest is the last command, but making
+# the exit code visible keeps the contract obvious (and ci/test_ci_scripts.sh
+# asserts a failing stage fails the script).
+tsan_status=0
+ctest --test-dir "${TSAN_DIR}" --output-on-failure --no-tests=error \
+  -j "$(nproc)" -R "${TSAN_REGEX}" || tsan_status=$?
+exit "${tsan_status}"

@@ -20,4 +20,8 @@ echo "soak: running tier2/soak suites with VCDL_SOAK=${VCDL_SOAK}"
 # the full tier2 set runs under ASan/UBSan.
 export VCDL_TSAN_REGEX='test_fuzz|test_trace_replay'
 
-ci/sanitize.sh -L 'tier2|soak'
+# Explicit status propagation (mirrors the sanitize.sh TSan stage): the soak
+# result is exactly the two-stage sanitizer run's result.
+status=0
+ci/sanitize.sh -L 'tier2|soak' || status=$?
+exit "${status}"

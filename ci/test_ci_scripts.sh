@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Self-test for the CI shell scripts — the failure modes that don't fail.
+#
+# The bug class this guards: `ctest -R <regex>` (or -L <label>) that matches
+# zero tests exits 0, so a typo in a suite name silently turns a sanitizer
+# stage into a no-op that "passes". ci/sanitize.sh closes the hole with
+# --no-tests=error on every ctest invocation plus explicit exit-status
+# propagation; this script proves the mechanism actually bites, against the
+# real build tree, and greps the scripts so the flag can't be dropped.
+#
+# Usage: ci/test_ci_scripts.sh <build-dir>
+# Registered as the tier-1 ctest test `ci_script_selftest`.
+set -uo pipefail
+
+BUILD_DIR="${1:?usage: ci/test_ci_scripts.sh <build-dir>}"
+cd "$(dirname "$0")/.."
+
+failures=0
+check() {
+  local label="$1"
+  shift
+  if "$@"; then
+    echo "ok:   ${label}"
+  else
+    echo "FAIL: ${label}"
+    failures=$((failures + 1))
+  fi
+}
+
+# 1. Both scripts still parse.
+check "sanitize.sh syntax" bash -n ci/sanitize.sh
+check "soak.sh syntax" bash -n ci/soak.sh
+
+# 2. Every ctest invocation in the CI scripts carries --no-tests=error.
+ctest_lines=$(grep -c '^ctest\|^  ctest\|ctest --test-dir' ci/sanitize.sh)
+guarded_lines=$(grep -c -- '--no-tests=error' ci/sanitize.sh)
+check "all sanitize.sh ctest calls guarded (${guarded_lines}/${ctest_lines})" \
+  test "${guarded_lines}" -ge "${ctest_lines}"
+
+# 3. A regex matching zero tests must FAIL under the guard flag (this is the
+#    exact silent-skip bug), against the real build tree.
+check "empty ctest regex fails" \
+  bash -c "! ctest --test-dir '${BUILD_DIR}' --no-tests=error \
+             -R '^vcdl_no_such_test_xyzzy\$' >/dev/null 2>&1"
+
+# 4. A deliberately failing test fails ctest — and that status survives the
+#    `status=0; ctest || status=\$?; exit \$status` propagation idiom the
+#    scripts use.
+tmp=$(mktemp -d)
+trap 'rm -rf "${tmp}"' EXIT
+echo 'add_test(deliberately_failing /bin/false)' >"${tmp}/CTestTestfile.cmake"
+check "failing test fails ctest" \
+  bash -c "! ctest --test-dir '${tmp}' --no-tests=error >/dev/null 2>&1"
+check "failing test status propagates" \
+  bash -c "s=0; ctest --test-dir '${tmp}' --no-tests=error \
+             >/dev/null 2>&1 || s=\$?; exit \$((s == 0))"
+
+# 5. The suites the TSan stage targets by default actually exist in this
+#    build, so the regex can never silently select nothing.
+for suite in test_thread_pool test_tensor test_nn_layers test_nn_model \
+             test_exec_threading test_obs; do
+  check "tsan target ${suite} registered" \
+    bash -c "ctest --test-dir '${BUILD_DIR}' -N -R '^${suite}\$' \
+               2>/dev/null | grep -q 'Total Tests: 1'"
+done
+
+if [[ "${failures}" -ne 0 ]]; then
+  echo "ci self-test: ${failures} check(s) failed"
+  exit 1
+fi
+echo "ci self-test: all checks passed"

@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/snapshot.hpp"
+
 #include "data/shards.hpp"
 #include "data/synthetic.hpp"
 #include "data/timeseries.hpp"
@@ -93,6 +95,12 @@ struct ExperimentSpec {
   /// checkpointing (and crash replay falls back to the initial snapshot).
   SimTime checkpoint_interval_s = 0.0;
 
+  /// Periodic metrics-snapshot delivery period (virtual seconds); each tick
+  /// appends to TrainResult::metric_timeline. 0 (default) disables the hook
+  /// — and keeps the engine's event sequence identical to pre-obs builds, so
+  /// existing trace-digest goldens are unaffected.
+  SimTime metrics_snapshot_period_s = 0.0;
+
   std::uint64_t seed = 7;
   bool trace = false;
 
@@ -138,6 +146,12 @@ struct RunTotals {
   std::uint64_t reissued_units = 0;      // units un-retired by crash recovery
 };
 
+/// One periodic metrics-snapshot delivery (spec.metrics_snapshot_period_s).
+struct MetricsSample {
+  SimTime time = 0.0;
+  obs::MetricsSnapshot snapshot;
+};
+
 struct TrainResult {
   ExperimentSpec spec;
   std::vector<EpochStats> epochs;
@@ -145,6 +159,12 @@ struct TrainResult {
   /// Authoritative (published) parameter vector at job end. Equivalence
   /// oracles compare this bitwise against reference replays.
   std::vector<float> final_params;
+  /// Final state of the global obs registry for this run (the registry is
+  /// reset at run entry, so this covers exactly this run). Deterministic
+  /// under same-seed replay: the telemetry oracle byte-compares to_json().
+  obs::MetricsSnapshot metrics;
+  /// Periodic snapshots, when enabled; empty otherwise.
+  std::vector<MetricsSample> metric_timeline;
 
   const EpochStats& final_epoch() const;
   /// First epoch whose mean accuracy reaches `threshold` (0 = never).

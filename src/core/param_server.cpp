@@ -6,9 +6,33 @@
 #include "core/eval.hpp"
 #include "core/vcasgd.hpp"
 #include "nn/model_io.hpp"
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 
 namespace vcdl {
+namespace {
+struct AssimilatorMetrics {
+  obs::Counter& updates =
+      obs::registry().counter("assimilator.updates_applied");
+  obs::Counter& outage_retries =
+      obs::registry().counter("store.outage_retries");
+  // Modeled (virtual-time) latencies — deterministic under simulation.
+  obs::Histogram& alpha_mix_s =
+      obs::registry().histogram("assimilator.alpha_mix_s", {0.0, 10.0, 50});
+  obs::Histogram& gradient_age =
+      obs::registry().histogram("assimilator.gradient_age", {0.0, 64.0, 64});
+  obs::Histogram& read_s =
+      obs::registry().histogram("store.read_s", {0.0, 5.0, 50});
+  obs::Histogram& write_s =
+      obs::registry().histogram("store.write_s", {0.0, 5.0, 50});
+  obs::Gauge& staleness = obs::registry().gauge("store.staleness_at_read");
+};
+
+AssimilatorMetrics& metrics() {
+  static AssimilatorMetrics m;
+  return m;
+}
+}  // namespace
 
 VcAsgdAssimilator::VcAsgdAssimilator(
     SimEngine& engine, KvStore& store, FileServer& files, GridServer& server,
@@ -43,9 +67,30 @@ SimTime VcAsgdAssimilator::validation_time() const {
 void VcAsgdAssimilator::commit(const std::vector<float>& params,
                                std::uint64_t read_version) {
   Blob blob = save_params(std::span<const float>(params));
-  store_.put(options_.params_key, blob, read_version);
+  const std::uint64_t new_version =
+      store_.put(options_.params_key, blob, read_version);
   files_.publish(options_.params_key, std::move(blob), /*compress=*/true);
   published_ = params;
+  ++commits_;
+  metrics().updates.inc();
+  if (read_version > 0) {
+    // Versions that landed between our read and this write — 0 on a strong
+    // store (the transaction serializes), positive on an eventual store when
+    // another worker's blend slipped in (its update is what we clobbered).
+    metrics().staleness.set(
+        static_cast<double>(new_version - read_version - 1));
+  }
+}
+
+void VcAsgdAssimilator::note_exec_base(WorkunitId unit) {
+  exec_base_[unit] = commits_;
+}
+
+void VcAsgdAssimilator::observe_gradient_age(WorkunitId unit) {
+  const auto it = exec_base_.find(unit);
+  if (it == exec_base_.end()) return;  // trainer did not record this unit
+  metrics().gradient_age.observe(static_cast<double>(commits_ - it->second));
+  exec_base_.erase(it);
 }
 
 void VcAsgdAssimilator::assimilate(ResultEnvelope env, std::size_t ps_index,
@@ -77,6 +122,7 @@ void VcAsgdAssimilator::try_assimilate(
       // here would strand the workunit.
       trace_.record(engine_.now(), TraceKind::store_fault, ps_name,
                     env->unit.label() + " retry " + std::to_string(attempt));
+      metrics().outage_retries.inc();
       const SimTime delay = store_retry_.delay(attempt, rng_);
       engine_.schedule(delay, [this, env, done, ps_index, attempt, gen] {
         if (server_.generation() != gen) return;
@@ -103,6 +149,10 @@ void VcAsgdAssimilator::try_assimilate(
         txn_lock_.release();
         return;
       }
+      metrics().read_s.observe(store_.latency().read_s * latency_factor);
+      metrics().write_s.observe(store_.latency().write_s * latency_factor);
+      metrics().alpha_mix_s.observe(store_.latency().update_s() *
+                                    latency_factor);
       engine_.schedule(
           store_.latency().update_s() * latency_factor,
           [this, shared_env, done, alpha, gen] {
@@ -117,6 +167,7 @@ void VcAsgdAssimilator::try_assimilate(
             const std::vector<float> client_params =
                 load_params(shared_env->payload);
             vcasgd_update(server_params, client_params, alpha);
+            observe_gradient_age(shared_env->unit.id);
             commit(server_params, current->version);
             txn_lock_.release();
             // Validation of the committed parameters.
@@ -141,6 +192,9 @@ void VcAsgdAssimilator::try_assimilate(
   // *after* the write, outside the race window, as in the paper's pipeline
   // ("after assimilating ... the parameter server computes the validation
   // accuracy").
+  metrics().read_s.observe(store_.latency().read_s * latency_factor);
+  metrics().write_s.observe(store_.latency().write_s * latency_factor);
+  metrics().alpha_mix_s.observe(store_.latency().update_s() * latency_factor);
   engine_.schedule(
       store_.latency().read_s * latency_factor,
       [this, shared_env, done, alpha, gen, latency_factor] {
@@ -157,6 +211,7 @@ void VcAsgdAssimilator::try_assimilate(
             store_.latency().write_s * latency_factor,
             [this, shared_env, done, server_params, read_version, gen] {
               if (server_.generation() != gen) return;
+              observe_gradient_age(shared_env->unit.id);
               commit(*server_params, read_version);
               // Validate the committed copy (real forward passes, virtual
               // duration).

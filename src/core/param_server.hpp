@@ -17,6 +17,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 
 #include "common/rng.hpp"
 #include "core/alpha_schedule.hpp"
@@ -70,10 +71,23 @@ class VcAsgdAssimilator : public AssimilatorBackend {
   /// the parameter server's ps_threads vCPUs doing the real compute.
   void set_exec_pool(ThreadPool* pool) { exec_.pool = pool; }
 
+  /// Commits applied so far — the logical clock gradient age is measured in.
+  std::uint64_t commits() const { return commits_; }
+
+  /// Called by the trainer when a client *starts computing* `unit`: records
+  /// the commit count its gradient will be based on. When the unit's result
+  /// is later assimilated, "assimilator.gradient_age" observes how many
+  /// commits landed in between — the staleness distribution VC-ASGD's α
+  /// schedule exists to absorb (§III-C).
+  void note_exec_base(WorkunitId unit);
+
  private:
   /// Virtual seconds one validation takes given current worker contention.
   SimTime validation_time() const;
   void commit(const std::vector<float>& params, std::uint64_t read_version);
+  /// Observes gradient age for `unit` (if its exec base was recorded) just
+  /// before its blend commits.
+  void observe_gradient_age(WorkunitId unit);
   /// One assimilation attempt; reschedules itself on injected store failures.
   void try_assimilate(std::shared_ptr<ResultEnvelope> env,
                       std::shared_ptr<std::function<void()>> done,
@@ -96,6 +110,8 @@ class VcAsgdAssimilator : public AssimilatorBackend {
   RetryPolicy store_retry_;  // backoff for injected store outages
   SimMutex txn_lock_;  // strong-store transaction serialization
   std::vector<float> published_;
+  std::uint64_t commits_ = 0;
+  std::map<WorkunitId, std::uint64_t> exec_base_;  // unit → commits at exec
 };
 
 }  // namespace vcdl

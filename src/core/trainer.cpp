@@ -14,6 +14,7 @@
 #include "nn/loss.hpp"
 #include "nn/model_io.hpp"
 #include "nn/optimizer.hpp"
+#include "obs/metrics.hpp"
 #include "sim/cost.hpp"
 #include "sim/faults.hpp"
 #include "storage/checkpoint.hpp"
@@ -34,6 +35,10 @@ VcTrainer::VcTrainer(ExperimentSpec spec) : spec_(std::move(spec)) {
 TrainResult VcTrainer::run() {
   trace_.clear();
   trace_.set_enabled(spec_.trace);
+  // The run owns the global metrics registry for its duration: values are
+  // zeroed at entry so the final snapshot covers exactly this run, making
+  // same-seed snapshots byte-identical (the deterministic-telemetry oracle).
+  obs::registry().reset_values();
   Rng master(spec_.seed);
 
   // --- Data, shards, model --------------------------------------------------
@@ -76,6 +81,11 @@ TrainResult VcTrainer::run() {
 
   // --- Infrastructure --------------------------------------------------------
   SimEngine engine;
+  // All time-valued metrics (spans, latency histograms) read the engine's
+  // virtual clock for the rest of this run — wall time never leaks into the
+  // snapshot, so telemetry replays with the simulation.
+  obs::FunctionTimeSource sim_clock([&engine] { return engine.now(); });
+  obs::ScopedTimeSource time_guard(obs::registry(), sim_clock);
   auto store = make_store(spec_.store);
   FileServer files;
   Scheduler scheduler;
@@ -173,6 +183,7 @@ TrainResult VcTrainer::run() {
           running = false;
           job_end_time = engine.now();
           trace_.record(engine.now(), TraceKind::job_done, "work-generator");
+          server.stop_metrics_snapshots();
           for (auto& c : clients) c->stop();
         }
       });
@@ -210,6 +221,9 @@ TrainResult VcTrainer::run() {
     (void)client;
     VCDL_CHECK(unit.shard < shards.count(), "execute: shard out of range");
     const Dataset& shard = shards.shards[unit.shard];
+    // Gradient-age bookkeeping: this subtask's gradient is based on the
+    // parameters as of the current commit count.
+    assimilator.note_exec_base(unit.id);
     worker_model.set_flat_params(assimilator.published_params());
     auto optimizer = make_optimizer(spec_.optimizer, spec_.learning_rate);
     Rng task_rng = master.fork(0xE0E0 + (++subtask_counter));
@@ -291,6 +305,15 @@ TrainResult VcTrainer::run() {
     });
   }
 
+  // --- Periodic telemetry snapshots (off by default) --------------------------
+  if (spec_.metrics_snapshot_period_s > 0.0) {
+    server.enable_metrics_snapshots(
+        spec_.metrics_snapshot_period_s,
+        [&result](SimTime when, const obs::MetricsSnapshot& snap) {
+          result.metric_timeline.push_back(MetricsSample{when, snap});
+        });
+  }
+
   // --- Go ---------------------------------------------------------------------
   work_gen.generate_epoch(1);
   for (auto& c : clients) c->start();
@@ -327,6 +350,7 @@ TrainResult VcTrainer::run() {
   result.totals.duplicates = server.stats().duplicates;
   result.totals.parameter_count = template_model.parameter_count();
   result.final_params = assimilator.published_params();
+  result.metrics = obs::registry().snapshot();
   return result;
 }
 

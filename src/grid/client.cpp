@@ -4,9 +4,37 @@
 #include <memory>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 
 namespace vcdl {
+namespace {
+struct ClientMetrics {
+  obs::Counter& bytes_downloaded =
+      obs::registry().counter("client.bytes_downloaded");
+  obs::Counter& bytes_uploaded =
+      obs::registry().counter("client.bytes_uploaded");
+  obs::Counter& completed = obs::registry().counter("client.completed");
+  obs::Counter& retries = obs::registry().counter("client.transfer_retries");
+  obs::Counter& abandoned =
+      obs::registry().counter("client.transfer_abandoned");
+  obs::Counter& preemptions = obs::registry().counter("client.preemptions");
+  obs::Counter& offline = obs::registry().counter("client.offline_events");
+  // Transfer latencies are modeled times (network model × stall factor), so
+  // the histograms are deterministic under simulation.
+  obs::Histogram& download_s =
+      obs::registry().histogram("client.download_s", {0.0, 120.0, 60});
+  obs::Histogram& upload_s =
+      obs::registry().histogram("client.upload_s", {0.0, 120.0, 60});
+  obs::Histogram& exec_s =
+      obs::registry().histogram("client.subtask_exec_s", {0.0, 600.0, 60});
+};
+
+ClientMetrics& metrics() {
+  static ClientMetrics m;
+  return m;
+}
+}  // namespace
 
 SimClient::SimClient(ClientId id, InstanceType instance, ClientConfig config,
                      SimEngine& engine, const NetworkModel& network,
@@ -93,6 +121,7 @@ SimTime SimClient::download_time(const Workunit& unit) {
     total += network_.transfer_time(bytes, instance_, server_instance_, rng_);
     ++stats_.downloads;
     stats_.bytes_downloaded += bytes;
+    metrics().bytes_downloaded.inc(bytes);
     if (ref.sticky) {
       cache_[ref.name] = current;
       scheduler_.note_cached(id_, ref.name);
@@ -118,6 +147,7 @@ void SimClient::attempt_download(const Workunit& unit, std::size_t attempt) {
     return;
   }
   const SimTime dl = download_time(unit) * fault.time_factor;
+  metrics().download_s.observe(dl);
   trace_.record(engine_.now(), TraceKind::download, name(), unit.label());
   const EventId id = engine_.schedule(dl, [this, unit] { exec_unit(unit); });
   track(id);
@@ -135,6 +165,7 @@ void SimClient::exec_unit(const Workunit& unit) {
     exec_s *= rng_.lognormal(0.0, config_.compute.exec_jitter_sigma);
   }
   stats_.busy_s += exec_s;
+  metrics().exec_s.observe(exec_s);
   auto payload = std::make_shared<Blob>(std::move(outcome.payload));
   const EventId id = engine_.schedule(exec_s, [this, unit, payload] {
     finish_unit(unit, std::move(*payload));
@@ -166,6 +197,7 @@ void SimClient::attempt_upload(const Workunit& unit,
   const SimTime up = network_.transfer_time(payload->size(), instance_,
                                             server_instance_, rng_) *
                      fault.time_factor;
+  metrics().upload_s.observe(up);
   const EventId id =
       engine_.schedule(up, [this, unit, payload, attempt] {
         if (!server_.is_up()) {
@@ -176,9 +208,11 @@ void SimClient::attempt_upload(const Workunit& unit,
         }
         trace_.record(engine_.now(), TraceKind::upload, name(), unit.label());
         stats_.bytes_uploaded += payload->size();
+        metrics().bytes_uploaded.inc(payload->size());
         VCDL_CHECK(active_ > 0, "SimClient: completion without active subtask");
         --active_;
         ++stats_.completed;
+        metrics().completed.inc();
         server_.submit_result(id_, unit, std::move(*payload));
         schedule_poll(0.0);  // a slot just freed up
       });
@@ -197,6 +231,7 @@ void SimClient::transfer_failed(const Workunit& unit, TransferStage stage,
     // Fast-fail: give the replica back now rather than letting the deadline
     // discover the loss minutes later.
     ++stats_.abandoned;
+    metrics().abandoned.inc();
     trace_.record(engine_.now(), TraceKind::subtask_abandoned, name(),
                   unit.label());
     scheduler_.report_failure(id_, unit.id, engine_.now());
@@ -206,6 +241,7 @@ void SimClient::transfer_failed(const Workunit& unit, TransferStage stage,
     return;
   }
   ++stats_.retries;
+  metrics().retries.inc();
   const SimTime delay = config_.retry.delay(attempt, rng_);
   const EventId id = engine_.schedule(delay, [this, unit, stage, payload,
                                               attempt] {
@@ -229,6 +265,7 @@ void SimClient::preempt() {
   if (stopped_ || !up_) return;
   up_ = false;
   ++stats_.preemptions;
+  metrics().preemptions.inc();
   stats_.lost_inflight += active_;
   trace_.record(engine_.now(), TraceKind::preempted, name(),
                 std::to_string(active_) + " subtasks lost");
@@ -265,6 +302,7 @@ void SimClient::go_offline() {
   if (stopped_ || !up_) return;
   up_ = false;
   ++stats_.offline_events;
+  metrics().offline.inc();
   stats_.lost_inflight += active_;
   trace_.record(engine_.now(), TraceKind::preempted, name(),
                 "volunteer offline, " + std::to_string(active_) +

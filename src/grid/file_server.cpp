@@ -2,8 +2,23 @@
 
 #include "common/compress.hpp"
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace vcdl {
+namespace {
+struct FileServerMetrics {
+  obs::Counter& publishes = obs::registry().counter("file_server.publishes");
+  obs::Counter& fetches = obs::registry().counter("file_server.fetches");
+  obs::Counter& bytes_raw = obs::registry().counter("file_server.bytes_raw");
+  obs::Counter& bytes_wire = obs::registry().counter("file_server.bytes_wire");
+  obs::Counter& cache_hits = obs::registry().counter("file_server.cache_hits");
+};
+
+FileServerMetrics& metrics() {
+  static FileServerMetrics m;
+  return m;
+}
+}  // namespace
 
 void FileServer::publish(const std::string& name, Blob payload,
                          bool compress_on_wire) {
@@ -13,6 +28,7 @@ void FileServer::publish(const std::string& name, Blob payload,
   e.payload = std::move(payload);
   ++e.version;
   ++stats_.publishes;
+  metrics().publishes.inc();
 }
 
 bool FileServer::has(const std::string& name) const {
@@ -39,11 +55,19 @@ std::size_t FileServer::wire_size(const std::string& name) const {
   return entry(name).wire_size;
 }
 
+void FileServer::record_cache_hit() {
+  ++stats_.cache_hits;
+  metrics().cache_hits.inc();
+}
+
 const Blob& FileServer::fetch(const std::string& name) {
   const Entry& e = entry(name);
   ++stats_.fetches;
   stats_.bytes_raw += e.payload.size();
   stats_.bytes_wire += e.wire_size;
+  metrics().fetches.inc();
+  metrics().bytes_raw.inc(e.payload.size());
+  metrics().bytes_wire.inc(e.wire_size);
   return e.payload;
 }
 

@@ -39,7 +39,7 @@ class FileServer {
   const Blob& fetch(const std::string& name);
 
   /// Called by clients when a sticky-file cache hit avoids a transfer.
-  void record_cache_hit() { ++stats_.cache_hits; }
+  void record_cache_hit();
 
   const Stats& stats() const { return stats_; }
 

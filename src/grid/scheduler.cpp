@@ -4,10 +4,38 @@
 #include <iterator>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace vcdl {
 namespace {
 constexpr double kReliabilityEma = 0.2;  // weight of the newest outcome
+
+// Cached handles into the global registry — registration is mutex-guarded,
+// so resolve each name once and record through stable references after that.
+struct SchedulerMetrics {
+  obs::Counter& dispatched = obs::registry().counter("scheduler.dispatched");
+  obs::Counter& results = obs::registry().counter("scheduler.results");
+  obs::Counter& timeout = obs::registry().counter("scheduler.failure.timeout");
+  obs::Counter& fast_fail =
+      obs::registry().counter("scheduler.failure.fast_fail");
+  obs::Counter& invalid =
+      obs::registry().counter("scheduler.failure.invalid_result");
+  obs::Counter& reissue =
+      obs::registry().counter("scheduler.failure.reissue_lost");
+  obs::Gauge& queue_depth = obs::registry().gauge("scheduler.queue_depth");
+  obs::Gauge& inflight = obs::registry().gauge("scheduler.inflight");
+};
+
+SchedulerMetrics& metrics() {
+  static SchedulerMetrics m;
+  return m;
+}
+}  // namespace
+
+const std::vector<std::string>& scheduler_failure_kinds() {
+  static const std::vector<std::string> kinds = {
+      "timeout", "fast_fail", "invalid_result", "reissue_lost"};
+  return kinds;
 }
 
 void Scheduler::register_client(ClientId id) { clients_[id]; }
@@ -33,6 +61,7 @@ void Scheduler::add_unit(const Workunit& unit) {
   ready_.push_back(unit.id);
   ++outstanding_;
   ++stats_.generated;
+  update_gauges();
 }
 
 std::vector<Workunit> Scheduler::request_work(ClientId client,
@@ -79,6 +108,7 @@ std::vector<Workunit> Scheduler::request_work(ClientId client,
       p.issued_to.insert(client);
       inflight_.push_back(Assignment{p.unit.id, client, now + p.unit.deadline_s});
       ++stats_.assignments;
+      metrics().dispatched.inc();
       out.push_back(p.unit);
       if (p.replicas_left == 0) {
         it = ready_.erase(it);
@@ -87,6 +117,7 @@ std::vector<Workunit> Scheduler::request_work(ClientId client,
       }
     }
   }
+  update_gauges();
   return out;
 }
 
@@ -115,6 +146,8 @@ bool Scheduler::report_result(ClientId client, WorkunitId unit, SimTime now) {
   uit->second.replicas_left = 0;
   const auto rit = std::find(ready_.begin(), ready_.end(), unit);
   if (rit != ready_.end()) ready_.erase(rit);
+  metrics().results.inc();
+  update_gauges();
   return true;
 }
 
@@ -138,7 +171,9 @@ void Scheduler::report_failure(ClientId client, WorkunitId unit, SimTime now) {
   VCDL_CHECK(units_.count(unit) > 0, "Scheduler: failure for unknown unit");
   bump_reliability(client, false);
   ++stats_.failures;
+  metrics().fast_fail.inc();
   release_assignment(client, unit);
+  update_gauges();
 }
 
 void Scheduler::report_invalid(ClientId client, WorkunitId unit, SimTime now) {
@@ -146,7 +181,9 @@ void Scheduler::report_invalid(ClientId client, WorkunitId unit, SimTime now) {
   VCDL_CHECK(units_.count(unit) > 0, "Scheduler: invalid result, unknown unit");
   bump_reliability(client, false);
   ++stats_.invalid_results;
+  metrics().invalid.inc();
   release_assignment(client, unit);
+  update_gauges();
 }
 
 void Scheduler::reissue_lost(WorkunitId unit) {
@@ -155,6 +192,7 @@ void Scheduler::reissue_lost(WorkunitId unit) {
   p.done = false;
   ++outstanding_;
   ++stats_.reissues;
+  metrics().reissue.inc();
   // Keep replica holds only for assignments still actively in flight. The
   // producer's hold (its assignment was erased when its result arrived) is
   // stale and would wrongly bar it from re-running the unit — fatal when it
@@ -173,6 +211,7 @@ void Scheduler::reissue_lost(WorkunitId unit) {
     p.replicas_left = 1;
     push_ready(unit);
   }
+  update_gauges();
 }
 
 void Scheduler::push_ready(WorkunitId unit) {
@@ -191,6 +230,7 @@ std::vector<WorkunitId> Scheduler::expire_deadlines(SimTime now) {
     auto& p = units_.at(it->unit);
     bump_reliability(it->client, false);
     ++stats_.timeouts;
+    metrics().timeout.inc();
     if (!p.done) {
       // Reissue. The missed client becomes eligible again too — after a
       // preemption it may be the only machine left.
@@ -201,6 +241,7 @@ std::vector<WorkunitId> Scheduler::expire_deadlines(SimTime now) {
     }
     it = inflight_.erase(it);
   }
+  update_gauges();
   return expired;
 }
 
@@ -225,6 +266,11 @@ double Scheduler::reliability(ClientId id) const {
   const auto it = clients_.find(id);
   VCDL_CHECK(it != clients_.end(), "Scheduler: unknown client");
   return it->second.reliability;
+}
+
+void Scheduler::update_gauges() const {
+  metrics().queue_depth.set(static_cast<double>(ready_count()));
+  metrics().inflight.set(static_cast<double>(inflight_.size()));
 }
 
 void Scheduler::bump_reliability(ClientId id, bool success) {

@@ -118,6 +118,8 @@ class Scheduler {
   };
 
   void bump_reliability(ClientId id, bool success);
+  /// Pushes ready/inflight depths into the obs gauges after any mutation.
+  void update_gauges() const;
   /// Shared requeue logic for fast-fail / invalid-result / timeout paths:
   /// drops the (client, unit) assignment and makes the replica issuable again.
   void release_assignment(ClientId client, WorkunitId unit);
@@ -131,5 +133,11 @@ class Scheduler {
   double reliability_gate_ = 0.0;       // 0 = disabled
   Stats stats_;
 };
+
+/// The scheduler's failure/requeue paths; each increments the obs counter
+/// "scheduler.failure.<kind>". The instrumentation-coverage test asserts set
+/// equality between this list and the registered counters, so adding a
+/// failure path without metering it (or vice versa) fails tier 1.
+const std::vector<std::string>& scheduler_failure_kinds();
 
 }  // namespace vcdl

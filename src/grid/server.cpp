@@ -1,8 +1,30 @@
 #include "grid/server.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
 #include "sim/engine.hpp"
 
 namespace vcdl {
+namespace {
+struct ServerMetrics {
+  obs::Counter& received = obs::registry().counter("server.results_received");
+  obs::Counter& invalid = obs::registry().counter("server.results_invalid");
+  obs::Counter& duplicates =
+      obs::registry().counter("server.results_duplicate");
+  obs::Counter& rejected_down =
+      obs::registry().counter("server.rejected_down");
+  obs::Counter& lost_results = obs::registry().counter("server.lost_results");
+  // "server_crash" is a fault kind (fault_kind_names()), injected here rather
+  // than in FaultInjector because crashes are scheduled at absolute times.
+  obs::Counter& crash = obs::registry().counter("faults.server_crash");
+  obs::Gauge& queue_depth = obs::registry().gauge("server.queue_depth");
+};
+
+ServerMetrics& metrics() {
+  static ServerMetrics m;
+  return m;
+}
+}  // namespace
 
 GridServer::GridServer(SimEngine& engine, Scheduler& scheduler, TraceLog& trace,
                        std::size_t num_parameter_servers,
@@ -17,13 +39,16 @@ bool GridServer::submit_result(ClientId client, const Workunit& unit,
                                Blob payload) {
   if (!up_) {
     ++stats_.rejected_down;
+    metrics().rejected_down.inc();
     return false;
   }
   ++stats_.received;
+  metrics().received.inc();
   trace_.record(engine_.now(), TraceKind::result_received,
                 "client-" + std::to_string(client), unit.label());
   if (!validator_(payload)) {
     ++stats_.invalid;
+    metrics().invalid.inc();
     trace_.record(engine_.now(), TraceKind::result_invalid,
                   "client-" + std::to_string(client), unit.label());
     // Corruption feeds the reliability EMA and requeues the replica at once
@@ -36,6 +61,7 @@ bool GridServer::submit_result(ClientId client, const Workunit& unit,
   const bool first = scheduler_.report_result(client, unit.id, engine_.now());
   if (!first) {
     ++stats_.duplicates;
+    metrics().duplicates.inc();
     return true;  // replication extra or post-timeout duplicate
   }
   ResultEnvelope env;
@@ -45,6 +71,7 @@ bool GridServer::submit_result(ClientId client, const Workunit& unit,
   env.received_at = engine_.now();
   const std::size_t ps_index = rr_++ % ps_.size();
   ps_[ps_index].queue.push_back(std::move(env));
+  metrics().queue_depth.set(static_cast<double>(queued_results()));
   maybe_start(ps_index);
   return true;
 }
@@ -54,6 +81,7 @@ void GridServer::crash() {
   up_ = false;
   ++generation_;
   ++stats_.crashes;
+  metrics().crash.inc();
   // Accepted-but-unassimilated results die with the server process. Their
   // units were already retired at the scheduler, so un-retire them — the
   // alternative is an epoch that never completes.
@@ -73,6 +101,8 @@ void GridServer::crash() {
   }
   active_ = 0;
   stats_.lost_results += lost;
+  metrics().lost_results.inc(lost);
+  metrics().queue_depth.set(0.0);
   trace_.record(engine_.now(), TraceKind::server_crash, "grid-server",
                 std::to_string(lost) + " results lost");
 }
@@ -98,6 +128,7 @@ void GridServer::maybe_start(std::size_t ps_index) {
   ++active_;
   ResultEnvelope env = std::move(worker.queue.front());
   worker.queue.pop_front();
+  metrics().queue_depth.set(static_cast<double>(queued_results()));
   const std::string label = env.unit.label();
   const std::uint64_t gen = generation_;
   backend_->assimilate(std::move(env), ps_index, [this, ps_index, label, gen] {
@@ -112,6 +143,30 @@ void GridServer::maybe_start(std::size_t ps_index) {
     trace_.record(engine_.now(), TraceKind::assimilated,
                   "ps-" + std::to_string(ps_index), label);
     maybe_start(ps_index);
+  });
+}
+
+void GridServer::enable_metrics_snapshots(SimTime period_s, SnapshotSink sink) {
+  VCDL_CHECK(period_s > 0.0, "GridServer: snapshot period must be positive");
+  VCDL_CHECK(sink != nullptr, "GridServer: null snapshot sink");
+  VCDL_CHECK(snapshot_period_s_ == 0.0,
+             "GridServer: snapshot hook already enabled");
+  snapshot_period_s_ = period_s;
+  snapshot_sink_ = std::move(sink);
+  schedule_snapshot();
+}
+
+void GridServer::stop_metrics_snapshots() {
+  snapshot_period_s_ = 0.0;
+  snapshot_sink_ = nullptr;
+}
+
+void GridServer::schedule_snapshot() {
+  engine_.schedule(snapshot_period_s_, [this] {
+    // Stopped between scheduling and firing: let the event drain as a no-op.
+    if (snapshot_period_s_ == 0.0) return;
+    snapshot_sink_(engine_.now(), obs::registry().snapshot());
+    schedule_snapshot();
   });
 }
 

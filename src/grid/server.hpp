@@ -25,6 +25,9 @@
 #include "sim/trace.hpp"
 
 namespace vcdl {
+namespace obs {
+struct MetricsSnapshot;
+}  // namespace obs
 
 class SimEngine;
 
@@ -88,6 +91,19 @@ class GridServer {
   std::size_t parameter_servers() const { return ps_.size(); }
   std::size_t queued_results() const;
 
+  /// Receives a periodic snapshot of the global metrics registry.
+  using SnapshotSink =
+      std::function<void(SimTime, const obs::MetricsSnapshot&)>;
+
+  /// Starts delivering a registry snapshot to `sink` every `period_s` of
+  /// virtual time (first delivery one period from now). The hook is a
+  /// self-rescheduling engine event; it keeps firing across crashes (the
+  /// telemetry pipeline is not the crashing process) until stopped.
+  void enable_metrics_snapshots(SimTime period_s, SnapshotSink sink);
+  /// Stops the hook; the pending event fires once more as a no-op so the
+  /// engine can drain.
+  void stop_metrics_snapshots();
+
   const Stats& stats() const { return stats_; }
 
  private:
@@ -98,6 +114,7 @@ class GridServer {
   };
 
   void maybe_start(std::size_t ps_index);
+  void schedule_snapshot();
 
   SimEngine& engine_;
   Scheduler& scheduler_;
@@ -109,6 +126,8 @@ class GridServer {
   std::size_t active_ = 0;
   bool up_ = true;
   std::uint64_t generation_ = 0;
+  SimTime snapshot_period_s_ = 0.0;  // 0 = hook disabled
+  SnapshotSink snapshot_sink_;
   Stats stats_;
 };
 

@@ -4,10 +4,19 @@
 
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/span.hpp"
 #include "tensor/ops.hpp"
 
 namespace vcdl {
 namespace {
+
+// One sample per im2col/col2im expansion; concurrent observes from pool
+// workers are safe (relaxed atomics). Zero-duration under simulation.
+obs::Histogram& im2col_metric() {
+  static obs::Histogram& h =
+      obs::registry().histogram("exec.im2col_s", {0.0, 0.02, 40});
+  return h;
+}
 
 // Expands the padded input patch matrix: col[(c*k*k + ky*k + kx)][oy*OW + ox]
 // = x[c][oy*stride + ky - pad][ox*stride + kx - pad] (0 outside).
@@ -144,8 +153,11 @@ Tensor Conv2D::forward(const Tensor& x, ExecContext& ctx, bool training) {
 
   auto run_item = [&](std::size_t chunk, std::size_t bi) {
     Tensor& col = training ? cols_[bi] : *eval_cols[chunk];
-    im2col(x.data() + bi * in_c_ * h * w, in_c_, h, w, kernel_, stride_, pad_,
-           oh, ow, col.data());
+    {
+      obs::SpanTimer span(im2col_metric());
+      im2col(x.data() + bi * in_c_ * h * w, in_c_, h, w, kernel_, stride_,
+             pad_, oh, ow, col.data());
+    }
     Tensor& y_mat = *y_mats[chunk];
     ops::matmul(w_, col, y_mat);
     float* y_b = y.data() + bi * out_c_ * out_plane;
@@ -194,6 +206,7 @@ Tensor Conv2D::backward(const Tensor& grad_out, ExecContext& ctx) {
           std::span<const float>(dy.data + oc * out_plane, out_plane));
     }
     ops::matmul_at_b(ops::view(w_), dy, dcol);
+    obs::SpanTimer span(im2col_metric());
     col2im(dcol.data(), in_c_, last_h_, last_w_, kernel_, stride_, pad_, oh, ow,
            dx.data() + bi * in_c_ * last_h_ * last_w_);
   };

@@ -1,0 +1,224 @@
+// Observability layer: lock-cheap metrics registry (vcdl::obs).
+//
+// The paper's experiments are all statements about where time and cost go —
+// transfer vs. compute, staleness vs. accuracy, preemption delay vs. price —
+// and BOINC ships server-side telemetry as a first-class subsystem. This
+// registry is VCDL's equivalent: every component records into named
+// monotonic counters, gauges, and fixed-bucket histograms owned by one
+// process-global registry, and a snapshot of the whole registry exports to
+// JSON/CSV (obs/snapshot.hpp).
+//
+// Design constraints, in priority order:
+//
+//   1. *Deterministic under simulation.* Time-valued metrics read the
+//      registry's TimeSource. A DES run installs its engine's virtual clock
+//      (ScopedTimeSource), so span durations, latency histograms, and
+//      therefore whole snapshots are pure functions of the run's seed —
+//      tests byte-compare snapshot JSON across same-seed runs. Outside a
+//      simulation the source defaults to the wall (steady) clock.
+//   2. *Lock-cheap on the hot path.* Metric handles are stable references;
+//      all mutation is relaxed atomics (counters, gauge stores, histogram
+//      bucket increments). The registry mutex guards only name registration
+//      and snapshotting — never per-sample updates. Handles stay valid for
+//      the registry's lifetime; reset_values() zeroes values but never
+//      deregisters.
+//   3. *Thread-safe.* The registry is touched from pool workers (GEMM
+//      spans), client threads (store benches) and the assimilator;
+//      ci/sanitize.sh runs tests/test_obs.cpp under TSan.
+//
+// Naming convention (docs/OBSERVABILITY.md): "<component>.<metric>[_unit]",
+// lowercase, [a-z0-9._] only — enforced at registration.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace vcdl::obs {
+
+struct MetricsSnapshot;
+
+/// Monotonic counter. inc() is a relaxed atomic add.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins double gauge; add() is a CAS loop.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double d);
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-range linear bucketing: `buckets` equal-width bins over [lo, hi),
+/// plus underflow (< lo) and overflow (>= hi) bins so no sample is dropped.
+struct HistogramOptions {
+  double lo = 0.0;
+  double hi = 1.0;
+  std::size_t buckets = 32;
+
+  friend bool operator==(const HistogramOptions&,
+                         const HistogramOptions&) = default;
+};
+
+/// The bucket edges guaranteed to contain a requested percentile: the exact
+/// nearest-rank sample lies in [lo, hi] by construction. Underflow samples
+/// yield lo = -infinity; overflow samples yield hi = +infinity.
+struct PercentileBracket {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Fixed-bucket histogram with percentile extraction. observe() is two
+/// relaxed atomic increments plus a CAS sum update — no locks.
+class Histogram {
+ public:
+  explicit Histogram(HistogramOptions options);
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void observe(double x);
+
+  const HistogramOptions& options() const { return options_; }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  std::uint64_t underflow() const {
+    return underflow_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t overflow() const {
+    return overflow_.load(std::memory_order_relaxed);
+  }
+  double bucket_lo(std::size_t i) const;
+  double bucket_hi(std::size_t i) const;
+
+  /// Nearest-rank percentile, q in [0, 1]: the bucket holding the
+  /// ceil(q·count)-th smallest sample. Empty histogram: {0, 0}.
+  PercentileBracket percentile_bracket(double q) const;
+  /// Scalar percentile estimate: the bracket's upper edge, clamped into
+  /// [lo, hi] so underflow/overflow never produce infinities (exporters
+  /// embed p50/p95/p99 in JSON).
+  double percentile(double q) const;
+
+  void reset();
+
+ private:
+  HistogramOptions options_;
+  double width_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> underflow_{0};
+  std::atomic<std::uint64_t> overflow_{0};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Pluggable clock. now() is in seconds; only differences are meaningful.
+class TimeSource {
+ public:
+  virtual ~TimeSource() = default;
+  virtual double now() const = 0;
+};
+
+/// Default: the monotonic wall clock (std::chrono::steady_clock).
+class WallTimeSource final : public TimeSource {
+ public:
+  double now() const override;
+};
+
+/// Adapts any callable — typically a SimEngine's virtual clock:
+/// FunctionTimeSource sim([&engine] { return engine.now(); });
+class FunctionTimeSource final : public TimeSource {
+ public:
+  explicit FunctionTimeSource(std::function<double()> fn);
+  double now() const override { return fn_(); }
+
+ private:
+  std::function<double()> fn_;
+};
+
+/// Metric registry: name → stable handle. Registration and snapshotting
+/// take a mutex; handle operations never do. Metrics are never deleted, so
+/// cached references (the idiom instrumentation sites use) stay valid for
+/// the registry's lifetime.
+class Registry {
+ public:
+  Registry();
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Returns the named metric, registering it on first use. Histogram
+  /// options must match the registration exactly on every later call —
+  /// a mismatch means two sites collided on one name.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name, HistogramOptions options = {});
+
+  std::vector<std::string> counter_names() const;
+  std::vector<std::string> gauge_names() const;
+  std::vector<std::string> histogram_names() const;
+
+  /// Current time from the installed source (wall clock by default).
+  double now() const {
+    return time_.load(std::memory_order_acquire)->now();
+  }
+  /// Installs `source` (nullptr restores the wall clock) and returns the
+  /// previous source. Prefer ScopedTimeSource.
+  const TimeSource* set_time_source(const TimeSource* source);
+
+  /// Zeroes every value; registrations (and handles) survive. A simulation
+  /// run resets at entry so its snapshot covers exactly that run.
+  void reset_values();
+
+  /// Consistent point-in-time copy of every metric.
+  MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  WallTimeSource wall_;
+  std::atomic<const TimeSource*> time_;
+};
+
+/// The process-global default registry every instrumentation site records
+/// into. Tests and simulation drivers reset_values() to scope measurements.
+Registry& registry();
+
+/// RAII guard installing a time source on a registry for a scope (a
+/// simulation run); restores the previous source on destruction.
+class ScopedTimeSource {
+ public:
+  ScopedTimeSource(Registry& registry, const TimeSource& source)
+      : registry_(registry), prev_(registry.set_time_source(&source)) {}
+  ~ScopedTimeSource() { registry_.set_time_source(prev_); }
+
+  ScopedTimeSource(const ScopedTimeSource&) = delete;
+  ScopedTimeSource& operator=(const ScopedTimeSource&) = delete;
+
+ private:
+  Registry& registry_;
+  const TimeSource* prev_;
+};
+
+}  // namespace vcdl::obs

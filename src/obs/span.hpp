@@ -1,0 +1,41 @@
+// RAII span timers over the registry's time source (vcdl::obs).
+//
+// A SpanTimer reads Registry::now() at construction and records the elapsed
+// time into a duration histogram at destruction. Under a simulation run the
+// registry carries the engine's virtual clock (ScopedTimeSource installed by
+// VcTrainer::run()), so spans around *real* compute inside a DES event —
+// GEMM kernels, im2col, validation forwards — record zero-duration samples
+// deterministically: the span *counts* stay exact and replayable while the
+// durations defer to the DES's own latency models. Outside a simulation
+// (benches, production paths) spans record wall time.
+//
+// Usage — cache the histogram handle once, time each call:
+//
+//   static obs::Histogram& h =
+//       obs::registry().histogram("exec.gemm_s", {0.0, 0.05, 50});
+//   obs::SpanTimer span(h);
+#pragma once
+
+#include "obs/metrics.hpp"
+
+namespace vcdl::obs {
+
+class SpanTimer {
+ public:
+  explicit SpanTimer(Histogram& sink, Registry& reg = registry())
+      : sink_(sink), registry_(reg), start_(reg.now()) {}
+  ~SpanTimer() { sink_.observe(registry_.now() - start_); }
+
+  SpanTimer(const SpanTimer&) = delete;
+  SpanTimer& operator=(const SpanTimer&) = delete;
+
+  /// Seconds elapsed so far (same clock the destructor records with).
+  double elapsed() const { return registry_.now() - start_; }
+
+ private:
+  Histogram& sink_;
+  Registry& registry_;
+  double start_;
+};
+
+}  // namespace vcdl::obs

@@ -4,8 +4,34 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace vcdl {
+namespace {
+// One counter per fault kind, kind names matching fault_kind_names(). The
+// coverage test asserts the "faults." counter set equals that list.
+struct FaultMetrics {
+  obs::Counter& transfer_drop = obs::registry().counter("faults.transfer_drop");
+  obs::Counter& transfer_stall =
+      obs::registry().counter("faults.transfer_stall");
+  obs::Counter& corruption = obs::registry().counter("faults.corruption");
+  obs::Counter& store_failure = obs::registry().counter("faults.store_failure");
+  obs::Counter& store_slowdown =
+      obs::registry().counter("faults.store_slowdown");
+};
+
+FaultMetrics& metrics() {
+  static FaultMetrics m;
+  return m;
+}
+}  // namespace
+
+const std::vector<std::string>& fault_kind_names() {
+  static const std::vector<std::string> kinds = {
+      "transfer_drop", "transfer_stall", "corruption",
+      "store_failure", "store_slowdown", "server_crash"};
+  return kinds;
+}
 
 FaultInjector::FaultInjector(FaultPlan plan, Rng rng)
     : plan_(std::move(plan)), rng_(rng) {
@@ -36,11 +62,13 @@ FaultInjector::TransferOutcome FaultInjector::draw(const TransferFaults& model) 
   if (model.drop_prob > 0.0 && rng_.bernoulli(model.drop_prob)) {
     out.dropped = true;
     ++stats_.transfer_drops;
+    metrics().transfer_drop.inc();
     return out;
   }
   if (model.stall_prob > 0.0 && rng_.bernoulli(model.stall_prob)) {
     out.time_factor = model.stall_factor;
     ++stats_.transfer_stalls;
+    metrics().transfer_stall.inc();
   }
   return out;
 }
@@ -57,11 +85,13 @@ FaultInjector::TransferOutcome FaultInjector::on_transfer(FaultSite site) {
       if (plan_.store.fail_prob > 0.0 && rng_.bernoulli(plan_.store.fail_prob)) {
         out.dropped = true;
         ++stats_.store_failures;
+        metrics().store_failure.inc();
         return out;
       }
       if (plan_.store.slow_prob > 0.0 && rng_.bernoulli(plan_.store.slow_prob)) {
         out.time_factor = plan_.store.slow_factor;
         ++stats_.store_slowdowns;
+        metrics().store_slowdown.inc();
       }
       return out;
     }
@@ -72,7 +102,10 @@ FaultInjector::TransferOutcome FaultInjector::on_transfer(FaultSite site) {
 bool FaultInjector::corrupt_result() {
   if (plan_.corruption_prob <= 0.0) return false;
   const bool hit = rng_.bernoulli(plan_.corruption_prob);
-  if (hit) ++stats_.corruptions;
+  if (hit) {
+    ++stats_.corruptions;
+    metrics().corruption.inc();
+  }
   return hit;
 }
 

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/blob.hpp"
@@ -107,6 +108,13 @@ class FaultInjector {
   Rng rng_;
   Stats stats_;
 };
+
+/// Every fault kind the stack can inject; each increments the obs counter
+/// "faults.<kind>" at its injection site (the first five here, in
+/// FaultInjector; "server_crash" in GridServer::crash). The coverage test
+/// asserts set equality against the registry, so a new fault kind must land
+/// with its counter.
+const std::vector<std::string>& fault_kind_names();
 
 /// Capped exponential backoff with jitter — the client-side retry policy for
 /// failed downloads/uploads. After max_attempts the client abandons the

@@ -2,6 +2,8 @@
 
 #include <functional>
 
+#include "storage/store_metrics.hpp"
+
 namespace vcdl {
 
 EventualStore::Shard& EventualStore::shard_for(const std::string& key) {
@@ -15,6 +17,7 @@ std::optional<VersionedValue> EventualStore::get(const std::string& key) {
     std::lock_guard slock(stats_mutex_);
     ++stats_.reads;
   }
+  store_metrics().reads.inc();
   const auto it = shard.map.find(key);
   if (it == shard.map.end()) return std::nullopt;
   return it->second;
@@ -31,6 +34,8 @@ std::uint64_t EventualStore::put(const std::string& key, Blob value,
     ++stats_.writes;
     if (lost) ++stats_.lost_updates;  // we clobber a version we never saw
   }
+  store_metrics().writes.inc();
+  if (lost) store_metrics().lost_updates.inc();
   slot.value = std::move(value);
   return ++slot.version;
 }

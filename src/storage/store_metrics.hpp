@@ -1,0 +1,23 @@
+// Shared obs handles for the parameter stores. Both consistency flavors
+// record into the same "store.*" counters — an experiment runs one store at a
+// time, and the snapshot should not care which flavor produced the traffic.
+#pragma once
+
+#include "obs/metrics.hpp"
+
+namespace vcdl {
+
+struct StoreMetrics {
+  obs::Counter& reads = obs::registry().counter("store.reads");
+  obs::Counter& writes = obs::registry().counter("store.writes");
+  obs::Counter& lost_updates = obs::registry().counter("store.lost_updates");
+  obs::Counter& contended =
+      obs::registry().counter("store.contended_updates");
+};
+
+inline StoreMetrics& store_metrics() {
+  static StoreMetrics m;
+  return m;
+}
+
+}  // namespace vcdl

@@ -1,5 +1,7 @@
 #include "storage/strong_store.hpp"
 
+#include "storage/store_metrics.hpp"
+
 namespace vcdl {
 
 StoreLatencyModel redis_like_latency() {
@@ -15,6 +17,7 @@ StoreLatencyModel mysql_like_latency() {
 std::optional<VersionedValue> StrongStore::get(const std::string& key) {
   std::lock_guard lock(mutex_);
   ++stats_.reads;
+  store_metrics().reads.inc();
   const auto it = map_.find(key);
   if (it == map_.end()) return std::nullopt;
   return it->second;
@@ -24,6 +27,7 @@ std::uint64_t StrongStore::put(const std::string& key, Blob value,
                                std::uint64_t /*read_version*/) {
   std::lock_guard lock(mutex_);
   ++stats_.writes;
+  store_metrics().writes.inc();
   auto& slot = map_[key];
   slot.value = std::move(value);
   return ++slot.version;
@@ -36,9 +40,12 @@ std::uint64_t StrongStore::update(const std::string& key,
   if (!lock.owns_lock()) {
     lock.lock();
     ++stats_.contended_updates;
+    store_metrics().contended.inc();
   }
   ++stats_.reads;
   ++stats_.writes;
+  store_metrics().reads.inc();
+  store_metrics().writes.inc();
   auto& slot = map_[key];
   const Blob* current = slot.version > 0 ? &slot.value : nullptr;
   slot.value = fn(current);

@@ -4,9 +4,27 @@
 #include <cmath>
 
 #include "common/thread_pool.hpp"
+#include "obs/span.hpp"
 
 namespace vcdl::ops {
 namespace {
+
+// Hot-path spans. Under a simulation run the registry carries the engine's
+// frozen virtual clock, so these record deterministic zero-duration samples
+// (pure call counts); benches run them on the wall clock and get real
+// kernel-time distributions. Handles are resolved once — obs::registry()
+// never invalidates references.
+struct ExecMetrics {
+  obs::Histogram& gemm_s =
+      obs::registry().histogram("exec.gemm_s", {0.0, 0.05, 50});
+  obs::Histogram& pool_wait_s =
+      obs::registry().histogram("exec.pool_wait_s", {0.0, 0.01, 40});
+};
+
+ExecMetrics& exec_metrics() {
+  static ExecMetrics m;
+  return m;
+}
 
 void check_same_size(std::span<const float> a, std::span<const float> b,
                      const char* what) {
@@ -74,7 +92,14 @@ void run_rowwise(std::size_t m, ThreadPool* pool,
                  const std::function<void(std::size_t, std::size_t)>& body) {
   // Parallelism only pays off for reasonably tall outputs.
   if (pool != nullptr && pool->size() > 1 && m >= 4 * pool->size()) {
-    pool->parallel_for(0, m, body);
+    // Per-chunk queue wait: dispatch-to-start latency, one sample per chunk
+    // (chunk boundaries are a pure function of range and pool size, so the
+    // sample count is deterministic for a given thread count).
+    const double dispatched = obs::registry().now();
+    pool->parallel_for(0, m, [&](std::size_t r0, std::size_t r1) {
+      exec_metrics().pool_wait_s.observe(obs::registry().now() - dispatched);
+      body(r0, r1);
+    });
   } else {
     body(0, m);
   }
@@ -174,6 +199,7 @@ void matmul(MatView a, MatView b, Tensor& c, bool accumulate,
   const std::size_t n = b.cols;
   if (!(c.shape() == Shape{m, n})) c = Tensor(Shape{m, n});
   if (!accumulate) c.fill(0.0f);
+  obs::SpanTimer span(exec_metrics().gemm_s);
   const bool zero_skip = panel_all_finite(b.data, k * n);
   run_rowwise(m, pool, [&](std::size_t r0, std::size_t r1) {
     gemm_rows(a.data, b.data, c.data(), r0, r1, k, n, zero_skip);
@@ -197,6 +223,7 @@ void matmul_at_b(MatView a, MatView b, Tensor& c, bool accumulate,
   const std::size_t n = b.cols;
   if (!(c.shape() == Shape{m, n})) c = Tensor(Shape{m, n});
   if (!accumulate) c.fill(0.0f);
+  obs::SpanTimer span(exec_metrics().gemm_s);
   const float* ap = a.data;
   const float* bp = b.data;
   float* cp = c.data();
@@ -232,6 +259,7 @@ void matmul_a_bt(MatView a, MatView b, Tensor& c, bool accumulate,
   const std::size_t n = b.rows;
   if (!(c.shape() == Shape{m, n})) c = Tensor(Shape{m, n});
   if (!accumulate) c.fill(0.0f);
+  obs::SpanTimer span(exec_metrics().gemm_s);
   const float* ap = a.data;
   const float* bp = b.data;
   float* cp = c.data();

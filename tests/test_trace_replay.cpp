@@ -143,6 +143,14 @@ TEST(TraceReplay, ChaosFleetSameSeedRunsAreDigestIdentical) {
   EXPECT_EQ(da, db) << "run A " << da.to_string() << " vs run B "
                     << db.to_string();
 
+  // Digest identity now extends to telemetry: the whole metrics snapshot —
+  // fault counters, latency histograms, span counts — must export
+  // byte-identical JSON across same-seed runs.
+  EXPECT_EQ(ra.metrics, rb.metrics);
+  EXPECT_EQ(ra.metrics.to_json(), rb.metrics.to_json());
+  EXPECT_EQ(ra.metrics.fingerprint(), rb.metrics.fingerprint());
+  EXPECT_GT(ra.metrics.counters.at("faults.transfer_drop"), 0u);
+
   // The chaos actually bit: faults and preemptions fired.
   EXPECT_GT(ra.totals.transfer_failures, 0u);
   EXPECT_GT(ra.totals.preemptions, 0u);
@@ -174,14 +182,16 @@ TEST(TraceReplay, RandomChaosSpecsStayDeterministicAndCausal) {
     ExperimentSpec spec = gen_experiment_spec(rng, size, /*chaos=*/true);
     spec.trace = true;
     VcTrainer a(spec);
-    (void)a.run();
+    const TrainResult ra = a.run();
     VcTrainer b(spec);
-    (void)b.run();
+    const TrainResult rb = b.run();
     prop_assert(a.trace().digest() == b.trace().digest(),
                 spec.label() + " alpha=" + spec.alpha + " store=" + spec.store +
                     ": same-seed digests differ (" +
                     a.trace().digest().to_string() + " vs " +
                     b.trace().digest().to_string() + ")");
+    prop_assert(ra.metrics.to_json() == rb.metrics.to_json(),
+                spec.label() + ": same-seed metrics snapshots differ");
     const CausalityReport causality = validate_causality(a.trace());
     prop_assert(causality.ok, spec.label() + ": " + causality.violation);
   });
