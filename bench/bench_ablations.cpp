@@ -4,8 +4,12 @@
 //   1. shard policy: IID vs worst-case label-skew (client drift amplifier);
 //   2. sticky-file caching: bytes over the wire with and without it;
 //   3. workunit replication: redundancy cost vs timeout robustness;
-//   4. the §V GPU-fleet extension: time and cost vs the CPU fleet.
+//   4. the §V GPU-fleet extension: time and cost vs the CPU fleet;
+//   5. wire codec: full blobs vs lossless deltas vs 8-bit quantized uploads
+//      (docs/SIMULATION.md §4b).
+#include <algorithm>
 #include <iostream>
+#include <string>
 
 #include "bench_common.hpp"
 #include "sim/cost.hpp"
@@ -101,5 +105,47 @@ int main(int argc, char** argv) {
   gpu_tbl.print(std::cout);
   std::cout << "(preemptible GPU instances carry the same 70% discount — the "
                "paper's cost argument extends to GPUs, §V)\n";
+
+  // 5. Wire codec. Uploads are the headline: q8 frames carry 8 bits per
+  // weight instead of 32 (≥4x smaller); download pulls are billed as
+  // version deltas in both delta modes. Accuracy must survive quantization.
+  std::cout << "\n5) Wire codec (docs/SIMULATION.md §4b):\n";
+  Table wire_tbl({"codec", "upload MB", "per-upload KB", "param pull MB",
+                  "full-equiv MB", "final acc"});
+  double full_upload_mb = 0.0;
+  double full_acc = 0.0;
+  for (const char* mode : {"full", "delta", "delta_q8"}) {
+    const TrainResult r =
+        p3c3t4([&](ExperimentSpec& s) { s.wire_codec = mode; });
+    const double mb = 1024.0 * 1024.0;
+    const double upload_mb = static_cast<double>(r.totals.bytes_uploaded) / mb;
+    const double uploads = std::max(
+        1.0, static_cast<double>(r.metrics.counters.at("client.completed")));
+    const bool has_split = r.totals.param_bytes_full > 0;
+    if (std::string(mode) == "full") {
+      full_upload_mb = upload_mb;
+      full_acc = r.final_epoch().mean_subtask_acc;
+    }
+    wire_tbl.add_row(
+        {mode, Table::fmt(upload_mb, 2),
+         Table::fmt(upload_mb * 1024.0 / uploads, 1),
+         has_split
+             ? Table::fmt(static_cast<double>(r.totals.param_bytes_wire) / mb,
+                          2)
+             : "-",
+         has_split
+             ? Table::fmt(static_cast<double>(r.totals.param_bytes_full) / mb,
+                          2)
+             : "-",
+         Table::fmt(r.final_epoch().mean_subtask_acc, 3)});
+    if (std::string(mode) == "delta_q8" && full_upload_mb > 0.0) {
+      std::cout << "   q8 upload reduction vs full: "
+                << Table::fmt(full_upload_mb / std::max(upload_mb, 1e-9), 1)
+                << "x, accuracy delta vs full: "
+                << Table::fmt(r.final_epoch().mean_subtask_acc - full_acc, 3)
+                << "\n";
+    }
+  }
+  wire_tbl.print(std::cout);
   return 0;
 }

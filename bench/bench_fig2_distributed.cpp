@@ -4,6 +4,7 @@
 // prints the accuracy-vs-cumulative-time series of each. Expected shape
 // (§IV-B): all configurations converge toward the same accuracy; they differ
 // in training time; P5C5T2 is the fastest of the four.
+#include <algorithm>
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -42,5 +43,35 @@ int main(int argc, char** argv) {
               << Table::fmt(r.totals.duration_s / 3600.0, 2) << " h (final acc "
               << Table::fmt(r.final_epoch().mean_subtask_acc, 3) << ")\n";
   }
+
+  // Wire codec (docs/SIMULATION.md §4b): the same P3C3T8 run with the
+  // lossless delta codec — parameter pulls billed as version deltas instead
+  // of full blobs.
+  std::cout << "\nParameter-pull traffic, full blobs vs lossless deltas"
+               " (P3C3T8):\n";
+  Table codec_tbl({"codec", "total wire MB", "param pull MB", "full-equiv MB",
+                   "pull savings", "delta pulls", "final acc"});
+  for (const char* mode : {"full", "delta"}) {
+    ExperimentSpec spec = bench::base_spec(cfg);
+    spec.parameter_servers = 3;
+    spec.clients = 3;
+    spec.tasks_per_client = 8;
+    spec.alpha = "0.95";
+    spec.wire_codec = mode;
+    const TrainResult r = run_experiment(spec);
+    const double mb = 1024.0 * 1024.0;
+    const bool has_split = r.totals.param_bytes_full > 0;
+    const double wire = static_cast<double>(r.totals.param_bytes_wire);
+    const double full = static_cast<double>(r.totals.param_bytes_full);
+    codec_tbl.add_row(
+        {mode,
+         Table::fmt(static_cast<double>(r.totals.bytes_wire) / mb, 2),
+         has_split ? Table::fmt(wire / mb, 2) : "-",
+         has_split ? Table::fmt(full / mb, 2) : "-",
+         has_split ? Table::fmt(full / std::max(wire, 1.0), 1) + "x" : "-",
+         Table::fmt(r.totals.delta_pulls),
+         Table::fmt(r.final_epoch().mean_subtask_acc, 3)});
+  }
+  codec_tbl.print(std::cout);
   return 0;
 }

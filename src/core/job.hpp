@@ -95,6 +95,15 @@ struct ExperimentSpec {
   /// checkpointing (and crash replay falls back to the initial snapshot).
   SimTime checkpoint_interval_s = 0.0;
 
+  /// Wire codec for parameter traffic (common/wire_codec.hpp): "full"
+  /// (pre-codec behavior, the default — bit-identical goldens), "delta"
+  /// (lossless version deltas both directions), or "delta_q8" (delta
+  /// downloads + 8-bit-quantized uploads; lossy, for the ablation bench).
+  std::string wire_codec = "full";
+  /// Past parameter versions the file server and assimilator keep as delta
+  /// bases before falling back to full blobs.
+  std::size_t wire_version_ring = 8;
+
   /// Periodic metrics-snapshot delivery period (virtual seconds); each tick
   /// appends to TrainResult::metric_timeline. 0 (default) disables the hook
   /// — and keeps the engine's event sequence identical to pre-obs builds, so
@@ -135,6 +144,12 @@ struct RunTotals {
   std::uint64_t store_writes = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t bytes_wire = 0;
+  std::uint64_t bytes_uploaded = 0;   // client→server result payload bytes
+  // Parameter-file pulls only (wire codec accounting): billed bytes vs what
+  // the same pulls would have cost as full blobs. Zero under "full".
+  std::uint64_t param_bytes_wire = 0;
+  std::uint64_t param_bytes_full = 0;
+  std::uint64_t delta_pulls = 0;      // pulls served as version deltas
   std::uint64_t duplicates = 0;
   std::size_t parameter_count = 0;
   // Chaos accounting (all zero on fault-free runs).

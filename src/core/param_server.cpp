@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <set>
 
 #include "core/eval.hpp"
 #include "core/vcasgd.hpp"
@@ -26,6 +27,11 @@ struct AssimilatorMetrics {
   obs::Histogram& write_s =
       obs::registry().histogram("store.write_s", {0.0, 5.0, 50});
   obs::Gauge& staleness = obs::registry().gauge("store.staleness_at_read");
+  // Wire-codec upload decoding (common/wire_codec.hpp).
+  obs::Counter& frames_decoded =
+      obs::registry().counter("wire_codec.frames_decoded");
+  obs::Counter& base_misses =
+      obs::registry().counter("wire_codec.base_misses");
 };
 
 AssimilatorMetrics& metrics() {
@@ -51,7 +57,16 @@ void VcAsgdAssimilator::publish_initial(const std::vector<float>& params) {
   published_ = params;
   Blob blob = save_params(std::span<const float>(params));
   store_.put(options_.params_key, blob, 0);
-  files_.publish(options_.params_key, std::move(blob), /*compress=*/true);
+  files_.publish(options_.params_key, std::move(blob), /*compress=*/true,
+                 /*delta_capable=*/options_.wire_mode != WireMode::full);
+  if (options_.wire_mode != WireMode::full) {
+    // Checkpoint replay re-enters here with rewound params while commits_
+    // stays put; clear the ring so no stale pre-crash base can be reused
+    // under the same version number. In-flight uploads encoded against a
+    // cleared base decode through the ring-miss fallback.
+    base_ring_.clear();
+    base_ring_[commits_] = published_;
+  }
 }
 
 SimTime VcAsgdAssimilator::validation_time() const {
@@ -69,9 +84,11 @@ void VcAsgdAssimilator::commit(const std::vector<float>& params,
   Blob blob = save_params(std::span<const float>(params));
   const std::uint64_t new_version =
       store_.put(options_.params_key, blob, read_version);
-  files_.publish(options_.params_key, std::move(blob), /*compress=*/true);
+  files_.publish(options_.params_key, std::move(blob), /*compress=*/true,
+                 /*delta_capable=*/options_.wire_mode != WireMode::full);
   published_ = params;
   ++commits_;
+  remember_base();
   metrics().updates.inc();
   if (read_version > 0) {
     // Versions that landed between our read and this write — 0 on a strong
@@ -80,6 +97,35 @@ void VcAsgdAssimilator::commit(const std::vector<float>& params,
     metrics().staleness.set(
         static_cast<double>(new_version - read_version - 1));
   }
+}
+
+void VcAsgdAssimilator::remember_base() {
+  if (options_.wire_mode == WireMode::full) return;
+  base_ring_[commits_] = published_;
+  if (base_ring_.size() <= options_.version_ring) return;
+  std::set<std::uint64_t> pinned;
+  for (const auto& [unit, base] : exec_base_) pinned.insert(base);
+  for (auto it = base_ring_.begin();
+       base_ring_.size() > options_.version_ring &&
+       it != base_ring_.end() && it->first < commits_;) {
+    if (pinned.count(it->first) > 0) {
+      ++it;
+    } else {
+      it = base_ring_.erase(it);
+    }
+  }
+}
+
+std::vector<float> VcAsgdAssimilator::decode_payload(const Blob& payload) {
+  if (!is_wire_frame(payload)) return load_params(payload);
+  const WireFrame frame = read_frame_header(payload);
+  const auto it = base_ring_.find(frame.base_version);
+  if (it != base_ring_.end()) {
+    metrics().frames_decoded.inc();
+    return decode_params(payload, it->second);
+  }
+  metrics().base_misses.inc();
+  return decode_params(payload, published_);
 }
 
 void VcAsgdAssimilator::note_exec_base(WorkunitId unit) {
@@ -165,7 +211,7 @@ void VcAsgdAssimilator::try_assimilate(
                        "assimilate: params missing from store");
             std::vector<float> server_params = load_params(current->value);
             const std::vector<float> client_params =
-                load_params(shared_env->payload);
+                decode_payload(shared_env->payload);
             vcasgd_update(server_params, client_params, alpha);
             observe_gradient_age(shared_env->unit.id);
             commit(server_params, current->version);
@@ -204,7 +250,7 @@ void VcAsgdAssimilator::try_assimilate(
         auto server_params =
             std::make_shared<std::vector<float>>(load_params(current->value));
         const std::vector<float> client_params =
-            load_params(shared_env->payload);
+            decode_payload(shared_env->payload);
         vcasgd_update(*server_params, client_params, alpha);
         const std::uint64_t read_version = current->version;
         engine_.schedule(

@@ -20,6 +20,7 @@
 #include <map>
 
 #include "common/rng.hpp"
+#include "common/wire_codec.hpp"
 #include "core/alpha_schedule.hpp"
 #include "data/dataset.hpp"
 #include "grid/file_server.hpp"
@@ -39,6 +40,13 @@ class VcAsgdAssimilator : public AssimilatorBackend {
     std::size_t validation_subsample = 128;
     std::size_t ps_threads = 2;            // vCPUs one validation can use
     std::string params_key = "params";
+    /// Wire codec for parameter traffic (common/wire_codec.hpp). With a
+    /// non-`full` mode, the parameter file is published delta-capable and
+    /// client uploads arrive as frames decoded against the base ring.
+    WireMode wire_mode = WireMode::full;
+    /// Past published versions kept as upload decode bases (and mirrored by
+    /// the file server's download ring).
+    std::size_t version_ring = 8;
   };
 
   /// `on_assimilated(epoch, subtask_val_acc)` fires once per assimilated
@@ -92,6 +100,16 @@ class VcAsgdAssimilator : public AssimilatorBackend {
   void try_assimilate(std::shared_ptr<ResultEnvelope> env,
                       std::shared_ptr<std::function<void()>> done,
                       std::size_t ps_index, std::size_t attempt);
+  /// Decodes an uploaded payload: full parameter blobs pass through
+  /// load_params; wire frames are decoded against the base version the
+  /// client trained from (base ring). On a ring miss — a late result whose
+  /// base aged out — the delta is applied to the *current* published copy
+  /// instead of being dropped (the delta is the client's local update, so
+  /// this degrades to plain update application; counted, deterministic).
+  std::vector<float> decode_payload(const Blob& payload);
+  /// Records the just-committed published copy in the base ring and prunes
+  /// versions no in-flight unit is pinned to.
+  void remember_base();
 
   SimEngine& engine_;
   KvStore& store_;
@@ -112,6 +130,10 @@ class VcAsgdAssimilator : public AssimilatorBackend {
   std::vector<float> published_;
   std::uint64_t commits_ = 0;
   std::map<WorkunitId, std::uint64_t> exec_base_;  // unit → commits at exec
+  // commit count → published params at that commit: decode bases for
+  // delta-encoded uploads. Maintained only under a non-`full` wire mode;
+  // versions pinned by exec_base_ survive past the ring capacity.
+  std::map<std::uint64_t, std::vector<float>> base_ring_;
 };
 
 }  // namespace vcdl

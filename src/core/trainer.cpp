@@ -6,6 +6,7 @@
 
 #include "common/log.hpp"
 #include "common/stats.hpp"
+#include "common/wire_codec.hpp"
 #include "common/thread_pool.hpp"
 #include "core/eval.hpp"
 #include "core/param_server.hpp"
@@ -87,7 +88,9 @@ TrainResult VcTrainer::run() {
   obs::FunctionTimeSource sim_clock([&engine] { return engine.now(); });
   obs::ScopedTimeSource time_guard(obs::registry(), sim_clock);
   auto store = make_store(spec_.store);
+  const WireMode wire_mode = wire_mode_from_name(spec_.wire_codec);
   FileServer files;
+  files.set_wire_codec(wire_mode, spec_.wire_version_ring);
   Scheduler scheduler;
   if (spec_.reliability_gate > 0.0) {
     scheduler.set_reliability_gate(spec_.reliability_gate);
@@ -107,6 +110,9 @@ TrainResult VcTrainer::run() {
 
   const ResultValidator validator = [](const Blob& payload) {
     try {
+      // Wire frames carry their own body checksum, so corruption is caught
+      // here without the decode base; full blobs go through load_params.
+      if (is_wire_frame(payload)) return validate_frame(payload);
       load_params(payload);
       return true;
     } catch (const Error&) {
@@ -143,6 +149,8 @@ TrainResult VcTrainer::run() {
   VcAsgdAssimilator::Options ps_opts;
   ps_opts.validate_work = spec_.validate_work;
   ps_opts.validation_subsample = spec_.validation_subsample;
+  ps_opts.wire_mode = wire_mode;
+  ps_opts.version_ring = spec_.wire_version_ring;
   const auto schedule = make_alpha_schedule(spec_.alpha);
 
   std::vector<std::unique_ptr<SimClient>> clients;
@@ -224,6 +232,15 @@ TrainResult VcTrainer::run() {
     // Gradient-age bookkeeping: this subtask's gradient is based on the
     // parameters as of the current commit count.
     assimilator.note_exec_base(unit.id);
+    // Under a delta codec the upload is encoded against the params this
+    // subtask trained from; the base copy is only taken when needed so the
+    // default full-blob path allocates exactly what it did pre-codec.
+    std::vector<float> upload_base;
+    std::uint64_t upload_base_version = 0;
+    if (wire_mode != WireMode::full) {
+      upload_base = assimilator.published_params();
+      upload_base_version = assimilator.commits();
+    }
     worker_model.set_flat_params(assimilator.published_params());
     auto optimizer = make_optimizer(spec_.optimizer, spec_.learning_rate);
     Rng task_rng = master.fork(0xE0E0 + (++subtask_counter));
@@ -246,7 +263,21 @@ TrainResult VcTrainer::run() {
         optimizer->step(worker_model);
       }
     }
-    return ExecOutcome{save_params(worker_model), spec_.work_per_subtask};
+    Blob payload;
+    switch (wire_mode) {
+      case WireMode::full:
+        payload = save_params(worker_model);
+        break;
+      case WireMode::delta:
+        payload = encode_params_delta(upload_base, worker_model.flat_params(),
+                                      upload_base_version);
+        break;
+      case WireMode::delta_q8:
+        payload = encode_params_q8(upload_base, worker_model.flat_params(),
+                                   upload_base_version);
+        break;
+    }
+    return ExecOutcome{std::move(payload), spec_.work_per_subtask};
   };
 
   // --- Clients ----------------------------------------------------------------
@@ -347,6 +378,12 @@ TrainResult VcTrainer::run() {
   result.totals.store_writes = store->stats().writes;
   result.totals.cache_hits = files.stats().cache_hits;
   result.totals.bytes_wire = files.stats().bytes_wire;
+  for (const auto& c : clients) {
+    result.totals.bytes_uploaded += c->stats().bytes_uploaded;
+  }
+  result.totals.param_bytes_wire = files.stats().bytes_delta_wire;
+  result.totals.param_bytes_full = files.stats().bytes_delta_full;
+  result.totals.delta_pulls = files.stats().delta_pulls;
   result.totals.duplicates = server.stats().duplicates;
   result.totals.parameter_count = template_model.parameter_count();
   result.final_params = assimilator.published_params();

@@ -116,8 +116,12 @@ SimTime SimClient::download_time(const Workunit& unit) {
         continue;
       }
     }
-    const std::size_t bytes = files_.wire_size(ref.name);
-    files_.fetch(ref.name);  // server-side accounting
+    // The pull protocol bills a version delta when the server still holds
+    // the version this client last downloaded (wire codec, file_server.hpp);
+    // under the default full-blob codec it bills exactly wire_size().
+    const auto receipt = files_.pull(ref.name, seen_versions_[ref.name]);
+    const std::size_t bytes = receipt.wire_bytes;
+    seen_versions_[ref.name] = receipt.version;
     total += network_.transfer_time(bytes, instance_, server_instance_, rng_);
     ++stats_.downloads;
     stats_.bytes_downloaded += bytes;
@@ -273,8 +277,11 @@ void SimClient::preempt() {
   active_ = 0;
   poll_scheduled_ = false;
   // The replacement instance starts with a cold cache — including the
-  // training scratch arena.
+  // training scratch arena and the delta-base versions (no local copy left
+  // to decode a delta against). An offline/online cycle keeps both: the
+  // volunteer's disk survives.
   cache_.clear();
+  seen_versions_.clear();
   scheduler_.clear_cache(id_);
   exec_.arena.release();
   const EventId id =

@@ -156,6 +156,10 @@ class SimClient {
   bool poll_scheduled_ = false;
   std::size_t active_ = 0;  // subtasks between download-start and upload-end
   std::map<std::string, std::uint64_t> cache_;  // sticky file → version
+  // Last version downloaded per file (0 = never) — the delta base the
+  // FileServer pull protocol encodes against. Wiped on preemption (the
+  // replacement instance holds no copy), kept across offline periods.
+  std::map<std::string, std::uint64_t> seen_versions_;
   std::set<std::uint64_t> pending_events_;      // cancellable on preemption
   Stats stats_;
 };

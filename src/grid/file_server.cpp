@@ -12,6 +12,10 @@ struct FileServerMetrics {
   obs::Counter& bytes_raw = obs::registry().counter("file_server.bytes_raw");
   obs::Counter& bytes_wire = obs::registry().counter("file_server.bytes_wire");
   obs::Counter& cache_hits = obs::registry().counter("file_server.cache_hits");
+  obs::Counter& delta_pulls =
+      obs::registry().counter("file_server.delta_pulls");
+  obs::Counter& delta_fallbacks =
+      obs::registry().counter("file_server.delta_fallbacks");
 };
 
 FileServerMetrics& metrics() {
@@ -20,13 +24,27 @@ FileServerMetrics& metrics() {
 }
 }  // namespace
 
+void FileServer::set_wire_codec(WireMode mode, std::size_t version_ring) {
+  mode_ = mode;
+  version_ring_ = version_ring > 0 ? version_ring : 1;
+}
+
 void FileServer::publish(const std::string& name, Blob payload,
-                         bool compress_on_wire) {
+                         bool compress_on_wire, bool delta_capable) {
   auto& e = files_[name];
-  e.wire_size = compress_on_wire ? compressed_size(payload.view()) : payload.size();
+  e.wire_size =
+      compress_on_wire ? compressed_size(payload.view()) : payload.size();
   e.compressed = compress_on_wire;
-  e.payload = std::move(payload);
+  e.delta_capable = delta_capable;
+  e.payload = std::make_shared<const Blob>(std::move(payload));
   ++e.version;
+  if (delta_capable && mode_ != WireMode::full) {
+    e.ring[e.version] = e.payload;
+    e.delta_sizes.clear();  // deltas are always encoded against the head
+    // The ring holds the current version plus up to version_ring_ - 1 past
+    // bases; drop the oldest beyond that.
+    while (e.ring.size() > version_ring_) e.ring.erase(e.ring.begin());
+  }
   ++stats_.publishes;
   metrics().publishes.inc();
 }
@@ -48,7 +66,7 @@ std::uint64_t FileServer::version(const std::string& name) const {
 }
 
 std::size_t FileServer::raw_size(const std::string& name) const {
-  return entry(name).payload.size();
+  return entry(name).payload->size();
 }
 
 std::size_t FileServer::wire_size(const std::string& name) const {
@@ -60,15 +78,68 @@ void FileServer::record_cache_hit() {
   metrics().cache_hits.inc();
 }
 
-const Blob& FileServer::fetch(const std::string& name) {
+std::shared_ptr<const Blob> FileServer::fetch(const std::string& name) {
   const Entry& e = entry(name);
   ++stats_.fetches;
-  stats_.bytes_raw += e.payload.size();
+  stats_.bytes_raw += e.payload->size();
   stats_.bytes_wire += e.wire_size;
   metrics().fetches.inc();
-  metrics().bytes_raw.inc(e.payload.size());
+  metrics().bytes_raw.inc(e.payload->size());
   metrics().bytes_wire.inc(e.wire_size);
   return e.payload;
+}
+
+std::size_t FileServer::delta_wire_size(Entry& e, std::uint64_t have_version) {
+  const auto cached = e.delta_sizes.find(have_version);
+  if (cached != e.delta_sizes.end()) return cached->second;
+  const std::size_t size =
+      delta_encode(e.ring.at(have_version)->view(), e.payload->view()).size();
+  e.delta_sizes[have_version] = size;
+  return size;
+}
+
+FileServer::PullReceipt FileServer::pull(const std::string& name,
+                                         std::uint64_t have_version) {
+  const auto it = files_.find(name);
+  if (it == files_.end()) {
+    throw NotFound("FileServer: no file named '" + name + "'");
+  }
+  Entry& e = it->second;
+
+  PullReceipt receipt;
+  receipt.payload = e.payload;
+  receipt.version = e.version;
+  receipt.wire_bytes = e.wire_size;
+
+  if (e.delta_capable && mode_ != WireMode::full && have_version != 0) {
+    if (e.ring.count(have_version) > 0) {
+      const std::size_t delta_bytes = delta_wire_size(e, have_version);
+      if (delta_bytes < e.wire_size) {
+        receipt.wire_bytes = delta_bytes;
+        receipt.was_delta = true;
+      }
+    }
+    if (receipt.was_delta) {
+      ++stats_.delta_pulls;
+      metrics().delta_pulls.inc();
+    } else {
+      // Base aged out of the ring, or the delta did not beat the full blob.
+      ++stats_.delta_fallbacks;
+      metrics().delta_fallbacks.inc();
+    }
+  }
+
+  ++stats_.fetches;
+  stats_.bytes_raw += e.payload->size();
+  stats_.bytes_wire += receipt.wire_bytes;
+  metrics().fetches.inc();
+  metrics().bytes_raw.inc(e.payload->size());
+  metrics().bytes_wire.inc(receipt.wire_bytes);
+  if (e.delta_capable) {
+    stats_.bytes_delta_wire += receipt.wire_bytes;
+    stats_.bytes_delta_full += e.wire_size;
+  }
+  return receipt;
 }
 
 }  // namespace vcdl

@@ -13,10 +13,7 @@ EventualStore::Shard& EventualStore::shard_for(const std::string& key) {
 std::optional<VersionedValue> EventualStore::get(const std::string& key) {
   auto& shard = shard_for(key);
   std::lock_guard lock(shard.mutex);
-  {
-    std::lock_guard slock(stats_mutex_);
-    ++stats_.reads;
-  }
+  stats_.reads.fetch_add(1, std::memory_order_relaxed);
   store_metrics().reads.inc();
   const auto it = shard.map.find(key);
   if (it == shard.map.end()) return std::nullopt;
@@ -29,13 +26,13 @@ std::uint64_t EventualStore::put(const std::string& key, Blob value,
   std::lock_guard lock(shard.mutex);
   auto& slot = shard.map[key];
   const bool lost = read_version != 0 && slot.version != read_version;
-  {
-    std::lock_guard slock(stats_mutex_);
-    ++stats_.writes;
-    if (lost) ++stats_.lost_updates;  // we clobber a version we never saw
-  }
+  stats_.writes.fetch_add(1, std::memory_order_relaxed);
   store_metrics().writes.inc();
-  if (lost) store_metrics().lost_updates.inc();
+  if (lost) {
+    // We clobber a version we never saw.
+    stats_.lost_updates.fetch_add(1, std::memory_order_relaxed);
+    store_metrics().lost_updates.inc();
+  }
   slot.value = std::move(value);
   return ++slot.version;
 }
@@ -63,9 +60,6 @@ void EventualStore::erase(const std::string& key) {
   shard.map.erase(key);
 }
 
-StoreStats EventualStore::stats() const {
-  std::lock_guard lock(stats_mutex_);
-  return stats_;
-}
+StoreStats EventualStore::stats() const { return stats_.snapshot(); }
 
 }  // namespace vcdl

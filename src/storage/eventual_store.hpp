@@ -42,8 +42,9 @@ class EventualStore : public KvStore {
   Shard& shard_for(const std::string& key);
 
   std::array<Shard, kShards> shards_;
-  mutable std::mutex stats_mutex_;
-  StoreStats stats_;
+  // Relaxed atomics: stat bumps must not re-serialize the sharded hot path
+  // on a global lock (kvstore.hpp AtomicStoreStats).
+  AtomicStoreStats stats_;
 };
 
 }  // namespace vcdl

@@ -18,6 +18,7 @@
 // in-memory operation itself is fast; the model is what an experiment bills.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -36,11 +37,34 @@ struct VersionedValue {
 struct StoreStats {
   std::uint64_t reads = 0;
   std::uint64_t writes = 0;
-  /// EventualStore: writes that clobbered a version the writer had not seen
-  /// (the racing writer's update is lost).
+  /// Writes (put with a non-zero read_version) that clobbered a version the
+  /// writer had not seen — the racing writer's update is lost. Both stores
+  /// count this: on the eventual store it is the accepted §III-D race, on
+  /// the strong store it flags a get→put misuse of an API whose atomic path
+  /// is update().
   std::uint64_t lost_updates = 0;
   /// StrongStore: lock acquisitions that had to wait.
   std::uint64_t contended_updates = 0;
+};
+
+/// Relaxed-atomic StoreStats accumulator (the src/obs counter pattern):
+/// stores bump these on their hot paths without touching any mutex — each
+/// counter is an independent monotonic event count, so per-counter atomicity
+/// is all a stats() snapshot needs.
+struct AtomicStoreStats {
+  std::atomic<std::uint64_t> reads{0};
+  std::atomic<std::uint64_t> writes{0};
+  std::atomic<std::uint64_t> lost_updates{0};
+  std::atomic<std::uint64_t> contended_updates{0};
+
+  StoreStats snapshot() const {
+    StoreStats s;
+    s.reads = reads.load(std::memory_order_relaxed);
+    s.writes = writes.load(std::memory_order_relaxed);
+    s.lost_updates = lost_updates.load(std::memory_order_relaxed);
+    s.contended_updates = contended_updates.load(std::memory_order_relaxed);
+    return s;
+  }
 };
 
 /// Simulated per-operation latency (seconds). The defaults reproduce §IV-D:

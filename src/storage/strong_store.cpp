@@ -16,7 +16,7 @@ StoreLatencyModel mysql_like_latency() {
 
 std::optional<VersionedValue> StrongStore::get(const std::string& key) {
   std::lock_guard lock(mutex_);
-  ++stats_.reads;
+  stats_.reads.fetch_add(1, std::memory_order_relaxed);
   store_metrics().reads.inc();
   const auto it = map_.find(key);
   if (it == map_.end()) return std::nullopt;
@@ -24,11 +24,20 @@ std::optional<VersionedValue> StrongStore::get(const std::string& key) {
 }
 
 std::uint64_t StrongStore::put(const std::string& key, Blob value,
-                               std::uint64_t /*read_version*/) {
+                               std::uint64_t read_version) {
   std::lock_guard lock(mutex_);
-  ++stats_.writes;
+  stats_.writes.fetch_add(1, std::memory_order_relaxed);
   store_metrics().writes.inc();
   auto& slot = map_[key];
+  // put() is still last-writer-wins — strong consistency lives in update(),
+  // which serializes the whole read-modify-write. But a caller doing
+  // get→put against this store races exactly like on the eventual store, so
+  // a stale read_version is counted instead of silently discarded: the
+  // misuse is observable in stats()/store_metrics.
+  if (read_version != 0 && slot.version != read_version) {
+    stats_.lost_updates.fetch_add(1, std::memory_order_relaxed);
+    store_metrics().lost_updates.inc();
+  }
   slot.value = std::move(value);
   return ++slot.version;
 }
@@ -39,11 +48,11 @@ std::uint64_t StrongStore::update(const std::string& key,
   std::unique_lock lock(mutex_, std::try_to_lock);
   if (!lock.owns_lock()) {
     lock.lock();
-    ++stats_.contended_updates;
+    stats_.contended_updates.fetch_add(1, std::memory_order_relaxed);
     store_metrics().contended.inc();
   }
-  ++stats_.reads;
-  ++stats_.writes;
+  stats_.reads.fetch_add(1, std::memory_order_relaxed);
+  stats_.writes.fetch_add(1, std::memory_order_relaxed);
   store_metrics().reads.inc();
   store_metrics().writes.inc();
   auto& slot = map_[key];
@@ -62,9 +71,6 @@ void StrongStore::erase(const std::string& key) {
   map_.erase(key);
 }
 
-StoreStats StrongStore::stats() const {
-  std::lock_guard lock(mutex_);
-  return stats_;
-}
+StoreStats StrongStore::stats() const { return stats_.snapshot(); }
 
 }  // namespace vcdl

@@ -28,7 +28,9 @@ class StrongStore : public KvStore {
   // lock granularity, and the latency model is charged by the caller anyway.
   mutable std::mutex mutex_;
   std::map<std::string, VersionedValue> map_;
-  StoreStats stats_;
+  // Relaxed atomics (kvstore.hpp AtomicStoreStats): stats() never takes the
+  // store lock, and counting stays cheap inside it.
+  AtomicStoreStats stats_;
 };
 
 }  // namespace vcdl

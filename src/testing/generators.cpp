@@ -148,6 +148,10 @@ ExperimentSpec gen_experiment_spec(Rng& rng, int size, bool chaos) {
   spec.store = rng.bernoulli(0.5) ? "eventual" : "strong";
   static const char* kOptimizers[] = {"sgd", "momentum", "adam"};
   spec.optimizer = kOptimizers[rng.uniform_index(3)];
+  // Every wire mode must uphold the same-seed determinism contract
+  // (docs/SIMULATION.md §4b), so the replay properties draw across all three.
+  static const char* kWireCodecs[] = {"full", "delta", "delta_q8"};
+  spec.wire_codec = kWireCodecs[rng.uniform_index(3)];
   // Substitute workload kept miniature so a full run is sub-second.
   spec.data.height = 8;
   spec.data.width = 8;

@@ -68,6 +68,67 @@ TEST(Compress, TruncatedStreamThrows) {
   EXPECT_THROW(decompress(Blob(std::move(cut))), CorruptData);
 }
 
+TEST(Compress, LiteralRunBoundaryRoundTrips) {
+  // Incompressible random bytes force pure literal runs, which the format
+  // caps at 128 per token. Exercise every length around the cap (and one
+  // full token plus every remainder) so the run-splitting edge is pinned.
+  Rng rng(11);
+  std::vector<std::uint8_t> noise(4 * 128 + 8);
+  for (auto& b : noise) b = static_cast<std::uint8_t>(rng.uniform_index(256));
+  for (std::size_t n = 120; n <= 136; ++n) {
+    const Blob in(std::vector<std::uint8_t>(noise.begin(), noise.begin() + n));
+    const Blob out = decompress(compress(in));
+    ASSERT_EQ(out, in) << "literal run length " << n;
+  }
+  for (std::size_t n = 250; n <= 260; ++n) {  // 128 + remainder near a cap
+    const Blob in(std::vector<std::uint8_t>(noise.begin(), noise.begin() + n));
+    ASSERT_EQ(decompress(compress(in)), in) << "literal run length " << n;
+  }
+}
+
+TEST(Compress, MaxMatchLengthRunsRoundTrip) {
+  // A long constant run decomposes into matches of the maximum length (131
+  // = kMinMatch + 127). Cover lengths around one and two maximum matches,
+  // plus the minimum-match threshold itself.
+  for (std::size_t n : {3u, 4u, 5u, 130u, 131u, 132u, 135u, 261u, 262u, 263u,
+                        266u, 1000u}) {
+    const Blob in = make_bytes(n, [](std::size_t) { return 0xAB; });
+    const Blob packed = compress(in);
+    ASSERT_EQ(decompress(packed), in) << "run length " << n;
+    if (n >= 200) {
+      // Long runs must actually use max-length matches, not literal spill.
+      EXPECT_LT(packed.size(), n / 4 + 32) << "run length " << n;
+    }
+  }
+}
+
+TEST(Compress, TruncationAtEveryPrefixThrowsOrNeverCorrupts) {
+  // Every proper prefix of a valid stream must throw CorruptData — never
+  // return wrong bytes, never read out of bounds. (A prefix that still
+  // parses completely cannot exist because the header pins the uncompressed
+  // size.)
+  Rng rng(17);
+  const Blob in = make_bytes(600, [&](std::size_t i) -> std::uint8_t {
+    return i % 3 == 0 ? static_cast<std::uint8_t>(rng.uniform_index(256))
+                      : 0x55;
+  });
+  const Blob packed = compress(in);
+  for (std::size_t cut = 0; cut < packed.size(); ++cut) {
+    std::vector<std::uint8_t> prefix(packed.view().begin(),
+                                     packed.view().begin() + cut);
+    EXPECT_THROW(decompress(Blob(std::move(prefix))), CorruptData)
+        << "prefix length " << cut;
+  }
+}
+
+TEST(Compress, EmptyAndTinyInputsThrowNotCrash) {
+  EXPECT_THROW(decompress(Blob()), CorruptData);
+  for (std::size_t n = 1; n < 4; ++n) {
+    EXPECT_THROW(decompress(make_bytes(n, [](std::size_t) { return 'V'; })),
+                 CorruptData);
+  }
+}
+
 TEST(Compress, SizeHelperMatches) {
   const Blob in = make_bytes(2048, [](std::size_t i) {
     return static_cast<std::uint8_t>(i / 100);

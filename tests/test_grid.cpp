@@ -32,7 +32,7 @@ TEST(FileServer, CompressedWireSizeSmallerForRuns) {
   EXPECT_LT(fs.wire_size("runs"), 1000u);
   EXPECT_EQ(fs.raw_size("runs"), 10000u);
   // Payload fetch returns the uncompressed bytes.
-  EXPECT_EQ(fs.fetch("runs").size(), 10000u);
+  EXPECT_EQ(fs.fetch("runs")->size(), 10000u);
 }
 
 TEST(FileServer, MissingFileThrows) {

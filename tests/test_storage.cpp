@@ -164,6 +164,26 @@ TEST(EventualStore, BlindWritesNeverCountAsLost) {
   EXPECT_EQ(store.stats().lost_updates, 0u);
 }
 
+TEST(StrongStore, StaleReadVersionPutCountsAsLostUpdate) {
+  // put() is last-writer-wins on the strong store too — only update() is the
+  // serialized read-modify-write. A get→put misuse must be observable, not
+  // silently discarded with the read_version argument.
+  StrongStore store;
+  store.put("k", blob_of(1), 0);  // version 1
+  const auto snapshot = store.get("k");
+  store.put("k", blob_of(2), snapshot->version);  // fine: still version 1
+  EXPECT_EQ(store.stats().lost_updates, 0u);
+  // A writer still holding version 1 now clobbers version 2.
+  store.put("k", blob_of(3), snapshot->version);
+  EXPECT_EQ(store.stats().lost_updates, 1u);
+  EXPECT_EQ(value_of(store.get("k")->value), 3u);  // LWW
+
+  // Blind writes and correctly-versioned writes stay clean.
+  store.put("k", blob_of(4), 0);
+  store.put("k", blob_of(5), store.get("k")->version);
+  EXPECT_EQ(store.stats().lost_updates, 1u);
+}
+
 TEST(StrongStore, ContentionIsObservable) {
   StrongStore store;
   std::atomic<bool> go{false};
