@@ -143,6 +143,7 @@ Blob wrap_frame(Blob inner) {
 struct ParsedFrame {
   std::uint8_t mode = 0;
   std::uint64_t base_version = 0;
+  std::uint64_t base_hash = 0;
   std::uint64_t count = 0;
   std::vector<std::uint8_t> body;
   bool hash_ok = false;
@@ -160,6 +161,7 @@ std::optional<ParsedFrame> parse_frame(const Blob& payload) {
     p.mode = r.read<std::uint8_t>();
     if (p.mode != kModeDelta && p.mode != kModeQ8) return std::nullopt;
     p.base_version = r.read_varint();
+    p.base_hash = r.read<std::uint64_t>();
     p.count = r.read_varint();
     p.body = r.read_bytes();
     if (!r.done()) return std::nullopt;
@@ -171,11 +173,13 @@ std::optional<ParsedFrame> parse_frame(const Blob& payload) {
 }
 
 Blob make_frame(std::uint8_t mode, std::uint64_t base_version,
-                std::uint64_t count, const Blob& body) {
+                std::uint64_t base_hash, std::uint64_t count,
+                const Blob& body) {
   BinaryWriter w;
   w.write(kFrameMagic);
   w.write(mode);
   w.write_varint(base_version);
+  w.write(base_hash);
   w.write_varint(count);
   w.write_bytes(body.view());
   return wrap_frame(w.take());
@@ -245,6 +249,15 @@ std::span<const std::uint8_t> float_bytes(std::span<const float> a) {
           a.size() * sizeof(float)};
 }
 
+std::uint64_t params_hash(std::span<const float> params) {
+  std::uint64_t h = 0xCBF29CE484222325ull;  // FNV-1a, matching Blob::hash
+  for (const std::uint8_t b : float_bytes(params)) {
+    h ^= b;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
 Blob encode_params_delta(std::span<const float> base,
                          std::span<const float> target,
                          std::uint64_t base_version) {
@@ -252,7 +265,8 @@ Blob encode_params_delta(std::span<const float> base,
              "encode_params_delta: base/target size mismatch");
   BinaryWriter body;
   write_body(body, diff_stream(float_bytes(base), float_bytes(target), 0));
-  return make_frame(kModeDelta, base_version, target.size(), body.take());
+  return make_frame(kModeDelta, base_version, params_hash(base),
+                    target.size(), body.take());
 }
 
 Blob encode_params_q8(std::span<const float> base,
@@ -263,28 +277,38 @@ Blob encode_params_q8(std::span<const float> base,
   BinaryWriter body;
   for (std::size_t begin = 0; begin < target.size(); begin += kQ8Block) {
     const std::size_t end = std::min(begin + kQ8Block, target.size());
+    // A non-finite diff (diverged weight, Inf overflow) would poison lo/hi
+    // and make lround(NaN) undefined; it is unrepresentable in a linear q8
+    // block anyway, so leave it out of the range and quantize it to the
+    // block's zero point below.
     float lo = 0.0f, hi = 0.0f;
+    bool any_finite = false;
     for (std::size_t i = begin; i < end; ++i) {
       const float d = target[i] - base[i];
-      if (i == begin || d < lo) lo = d;
-      if (i == begin || d > hi) hi = d;
+      if (!std::isfinite(d)) continue;
+      if (!any_finite || d < lo) lo = d;
+      if (!any_finite || d > hi) hi = d;
+      any_finite = true;
     }
-    const float step = (hi - lo) / 255.0f;
+    const float step = any_finite ? (hi - lo) / 255.0f : 0.0f;
     body.write(lo);
     body.write(hi);
     std::vector<std::uint8_t> q(end - begin);
     for (std::size_t i = begin; i < end; ++i) {
       const float d = target[i] - base[i];
-      const float scaled = step > 0.0f ? (d - lo) / step : 0.0f;
-      q[i - begin] = static_cast<std::uint8_t>(
-          std::clamp(std::lround(scaled), 0L, 255L));
+      float scaled = 0.0f;
+      if (std::isfinite(d) && step > 0.0f) {
+        scaled = std::clamp((d - lo) / step, 0.0f, 255.0f);
+      }
+      q[i - begin] = static_cast<std::uint8_t>(std::lround(scaled));
     }
     body.write_bytes(q);
   }
   const Blob blocks = body.take();
   BinaryWriter outer;
   write_body(outer, blocks.view());
-  return make_frame(kModeQ8, base_version, target.size(), outer.take());
+  return make_frame(kModeQ8, base_version, params_hash(base), target.size(),
+                    outer.take());
 }
 
 bool is_wire_frame(const Blob& payload) {
@@ -304,6 +328,7 @@ WireFrame read_frame_header(const Blob& payload) {
   WireFrame h;
   h.mode = p->mode == kModeDelta ? WireMode::delta : WireMode::delta_q8;
   h.base_version = p->base_version;
+  h.base_hash = p->base_hash;
   h.count = p->count;
   return h;
 }

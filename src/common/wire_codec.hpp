@@ -67,10 +67,17 @@ Blob delta_decode(std::span<const std::uint8_t> base,
 
 // --- Float parameter frames (client upload path) ----------------------------
 
+/// Stable 64-bit FNV-1a hash of a parameter vector's bytes. Travels in every
+/// frame header so a decoder can verify it still holds the *same* base the
+/// frame was encoded against — version numbers alone are not enough when a
+/// checkpoint replay rewinds the parameters without advancing the version.
+std::uint64_t params_hash(std::span<const float> params);
+
 /// Parsed frame header (see `read_frame_header`).
 struct WireFrame {
   WireMode mode = WireMode::full;  // delta or delta_q8 in a valid frame
   std::uint64_t base_version = 0;  // assimilator commit count trained from
+  std::uint64_t base_hash = 0;     // params_hash of the encode base
   std::uint64_t count = 0;         // number of float parameters
 };
 
@@ -103,7 +110,10 @@ WireFrame read_frame_header(const Blob& payload);
 
 /// Decodes a frame against `base` (which must hold exactly `count` floats —
 /// the model's flat parameter vector). Throws CorruptData on checksum or
-/// size mismatch. Deterministic for both modes.
+/// size mismatch. Deterministic for both modes. Does NOT require `base` to
+/// match the frame's `base_hash`: the caller decides whether a different
+/// base is acceptable (it is for q8's float-space diffs, never for delta's
+/// bit-space diffs — see VcAsgdAssimilator::decode_payload).
 std::vector<float> decode_params(const Blob& payload,
                                  std::span<const float> base);
 

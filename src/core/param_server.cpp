@@ -32,6 +32,8 @@ struct AssimilatorMetrics {
       obs::registry().counter("wire_codec.frames_decoded");
   obs::Counter& base_misses =
       obs::registry().counter("wire_codec.base_misses");
+  obs::Counter& frames_dropped =
+      obs::registry().counter("wire_codec.frames_dropped");
 };
 
 AssimilatorMetrics& metrics() {
@@ -61,11 +63,14 @@ void VcAsgdAssimilator::publish_initial(const std::vector<float>& params) {
                  /*delta_capable=*/options_.wire_mode != WireMode::full);
   if (options_.wire_mode != WireMode::full) {
     // Checkpoint replay re-enters here with rewound params while commits_
-    // stays put; clear the ring so no stale pre-crash base can be reused
-    // under the same version number. In-flight uploads encoded against a
-    // cleared base decode through the ring-miss fallback.
+    // stays put; clear the ring so no stale pre-crash base survives under
+    // its old version number. Future commits will *reuse* those version
+    // numbers with different params — which is why ring hits also compare
+    // the frame's base_hash: a pre-crash upload whose base_version matches
+    // a post-replay entry hash-misses and takes the ring-miss path instead
+    // of silently decoding against the wrong base.
     base_ring_.clear();
-    base_ring_[commits_] = published_;
+    base_ring_[commits_] = {params_hash(published_), published_};
   }
 }
 
@@ -101,10 +106,12 @@ void VcAsgdAssimilator::commit(const std::vector<float>& params,
 
 void VcAsgdAssimilator::remember_base() {
   if (options_.wire_mode == WireMode::full) return;
-  base_ring_[commits_] = published_;
+  base_ring_[commits_] = {params_hash(published_), published_};
   if (base_ring_.size() <= options_.version_ring) return;
   std::set<std::uint64_t> pinned;
-  for (const auto& [unit, base] : exec_base_) pinned.insert(base);
+  for (const auto& [unit, bases] : exec_base_) {
+    pinned.insert(bases.begin(), bases.end());
+  }
   for (auto it = base_ring_.begin();
        base_ring_.size() > options_.version_ring &&
        it != base_ring_.end() && it->first < commits_;) {
@@ -116,27 +123,47 @@ void VcAsgdAssimilator::remember_base() {
   }
 }
 
-std::vector<float> VcAsgdAssimilator::decode_payload(const Blob& payload) {
+std::optional<std::vector<float>> VcAsgdAssimilator::decode_payload(
+    const Blob& payload) {
   if (!is_wire_frame(payload)) return load_params(payload);
   const WireFrame frame = read_frame_header(payload);
   const auto it = base_ring_.find(frame.base_version);
-  if (it != base_ring_.end()) {
+  if (it != base_ring_.end() && it->second.hash == frame.base_hash) {
     metrics().frames_decoded.inc();
-    return decode_params(payload, it->second);
+    return decode_params(payload, it->second.params);
   }
   metrics().base_misses.inc();
+  if (frame.mode == WireMode::delta) {
+    // Lossless deltas are zigzag diffs of the floats' *bit patterns*;
+    // decoded against anything but their exact encode base they become
+    // arbitrary floats (NaN/Inf included), so a ring miss drops the upload
+    // rather than poisoning the blend.
+    metrics().frames_dropped.inc();
+    return std::nullopt;
+  }
+  // q8 diffs live in float space, so against the current published copy the
+  // decode degrades to plain update application.
   return decode_params(payload, published_);
 }
 
 void VcAsgdAssimilator::note_exec_base(WorkunitId unit) {
-  exec_base_[unit] = commits_;
+  exec_base_[unit].push_back(commits_);
 }
 
 void VcAsgdAssimilator::observe_gradient_age(WorkunitId unit) {
   const auto it = exec_base_.find(unit);
   if (it == exec_base_.end()) return;  // trainer did not record this unit
-  metrics().gradient_age.observe(static_cast<double>(commits_ - it->second));
+  metrics().gradient_age.observe(
+      static_cast<double>(commits_ - it->second.back()));
+  // Dropping every replica's pin here is safe because the grid server
+  // retires the unit on its first valid result (Scheduler::report_result)
+  // and later duplicates never reach assimilate() — no further decode for
+  // this unit can occur.
   exec_base_.erase(it);
+}
+
+void VcAsgdAssimilator::release_exec_base(WorkunitId unit) {
+  exec_base_.erase(unit);
 }
 
 void VcAsgdAssimilator::assimilate(ResultEnvelope env, std::size_t ps_index,
@@ -210,11 +237,19 @@ void VcAsgdAssimilator::try_assimilate(
             VCDL_CHECK(current.has_value(),
                        "assimilate: params missing from store");
             std::vector<float> server_params = load_params(current->value);
-            const std::vector<float> client_params =
+            const std::optional<std::vector<float>> client_params =
                 decode_payload(shared_env->payload);
-            vcasgd_update(server_params, client_params, alpha);
-            observe_gradient_age(shared_env->unit.id);
-            commit(server_params, current->version);
+            if (client_params.has_value()) {
+              vcasgd_update(server_params, *client_params, alpha);
+              observe_gradient_age(shared_env->unit.id);
+              commit(server_params, current->version);
+            } else {
+              // Ring-missed lossless delta: the upload is dropped, but the
+              // unit is already retired at the scheduler, so the pipeline
+              // still validates (the unchanged params) and reports — an
+              // abandoned chain would stall the epoch.
+              release_exec_base(shared_env->unit.id);
+            }
             txn_lock_.release();
             // Validation of the committed parameters.
             eval_model_.set_flat_params(server_params);
@@ -249,16 +284,25 @@ void VcAsgdAssimilator::try_assimilate(
         VCDL_CHECK(current.has_value(), "assimilate: params missing from store");
         auto server_params =
             std::make_shared<std::vector<float>>(load_params(current->value));
-        const std::vector<float> client_params =
+        const std::optional<std::vector<float>> client_params =
             decode_payload(shared_env->payload);
-        vcasgd_update(*server_params, client_params, alpha);
+        // A dropped upload (ring-missed lossless delta) skips the blend and
+        // the commit but still flows through validation + reporting: the
+        // unit is already retired at the scheduler.
+        const bool applied = client_params.has_value();
+        if (applied) vcasgd_update(*server_params, *client_params, alpha);
         const std::uint64_t read_version = current->version;
         engine_.schedule(
             store_.latency().write_s * latency_factor,
-            [this, shared_env, done, server_params, read_version, gen] {
+            [this, shared_env, done, server_params, read_version, applied,
+             gen] {
               if (server_.generation() != gen) return;
-              observe_gradient_age(shared_env->unit.id);
-              commit(*server_params, read_version);
+              if (applied) {
+                observe_gradient_age(shared_env->unit.id);
+                commit(*server_params, read_version);
+              } else {
+                release_exec_base(shared_env->unit.id);
+              }
               // Validate the committed copy (real forward passes, virtual
               // duration).
               eval_model_.set_flat_params(*server_params);

@@ -18,6 +18,7 @@
 
 #include <functional>
 #include <map>
+#include <optional>
 
 #include "common/rng.hpp"
 #include "common/wire_codec.hpp"
@@ -94,19 +95,28 @@ class VcAsgdAssimilator : public AssimilatorBackend {
   SimTime validation_time() const;
   void commit(const std::vector<float>& params, std::uint64_t read_version);
   /// Observes gradient age for `unit` (if its exec base was recorded) just
-  /// before its blend commits.
+  /// before its blend commits, then releases the unit's base-ring pins.
   void observe_gradient_age(WorkunitId unit);
+  /// Releases `unit`'s base-ring pins without observing an age — the path
+  /// for uploads that were dropped rather than blended.
+  void release_exec_base(WorkunitId unit);
   /// One assimilation attempt; reschedules itself on injected store failures.
   void try_assimilate(std::shared_ptr<ResultEnvelope> env,
                       std::shared_ptr<std::function<void()>> done,
                       std::size_t ps_index, std::size_t attempt);
   /// Decodes an uploaded payload: full parameter blobs pass through
   /// load_params; wire frames are decoded against the base version the
-  /// client trained from (base ring). On a ring miss — a late result whose
-  /// base aged out — the delta is applied to the *current* published copy
-  /// instead of being dropped (the delta is the client's local update, so
-  /// this degrades to plain update application; counted, deterministic).
-  std::vector<float> decode_payload(const Blob& payload);
+  /// client trained from (base ring, guarded by the frame's base_hash so a
+  /// checkpoint replay that reuses version numbers can never supply the
+  /// wrong base). On a ring miss the two modes diverge:
+  ///  * q8 frames carry *float-space* diffs, so applying them to the
+  ///    current published copy degrades to plain update application
+  ///    (counted, deterministic);
+  ///  * lossless delta frames carry *bit-space* word diffs — against any
+  ///    other base they decode to arbitrary floats — so the upload is
+  ///    dropped (nullopt, counted in wire_codec.frames_dropped) and the
+  ///    caller skips the blend.
+  std::optional<std::vector<float>> decode_payload(const Blob& payload);
   /// Records the just-committed published copy in the base ring and prunes
   /// versions no in-flight unit is pinned to.
   void remember_base();
@@ -129,11 +139,19 @@ class VcAsgdAssimilator : public AssimilatorBackend {
   SimMutex txn_lock_;  // strong-store transaction serialization
   std::vector<float> published_;
   std::uint64_t commits_ = 0;
-  std::map<WorkunitId, std::uint64_t> exec_base_;  // unit → commits at exec
+  // unit → commit counts its replicas started from, newest last. A unit can
+  // run as several replicas (redundancy, timeout reissue), each trained from
+  // whatever commit was current when *it* started; all of those bases stay
+  // pinned in the ring until the unit's first valid result resolves.
+  std::map<WorkunitId, std::vector<std::uint64_t>> exec_base_;
+  struct BaseEntry {
+    std::uint64_t hash = 0;  // params_hash — must match a frame's base_hash
+    std::vector<float> params;
+  };
   // commit count → published params at that commit: decode bases for
   // delta-encoded uploads. Maintained only under a non-`full` wire mode;
   // versions pinned by exec_base_ survive past the ring capacity.
-  std::map<std::uint64_t, std::vector<float>> base_ring_;
+  std::map<std::uint64_t, BaseEntry> base_ring_;
 };
 
 }  // namespace vcdl

@@ -7,6 +7,7 @@
 
 #include <cmath>
 #include <cstring>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -198,6 +199,57 @@ TEST(ParamFrame, ZeroDeltaAndConstantBlocksRoundTrip) {
   EXPECT_EQ(std::memcmp(lossless.data(), base.data(),
                         base.size() * sizeof(float)),
             0);
+}
+
+TEST(ParamFrame, HeaderCarriesBaseHashOfEncodeBase) {
+  Rng rng(18);
+  const std::vector<float> base = correlated_params(rng, 800);
+  const std::vector<float> other = correlated_params(rng, 800);
+  const std::vector<float> target = nudge(rng, base, 1e-2);
+  const WireFrame d = read_frame_header(encode_params_delta(base, target, 4));
+  const WireFrame q = read_frame_header(encode_params_q8(base, target, 4));
+  // Both modes stamp the same params_hash of the base they encoded against;
+  // a decoder holding different params under the same version number can
+  // tell (the checkpoint-replay guard in VcAsgdAssimilator::decode_payload).
+  EXPECT_EQ(d.base_hash, params_hash(base));
+  EXPECT_EQ(q.base_hash, params_hash(base));
+  EXPECT_NE(d.base_hash, params_hash(other));
+  EXPECT_NE(d.base_hash, params_hash(target));
+}
+
+// Low-severity regression: a non-finite diff (diverged weight) used to feed
+// NaN/Inf into the block's lo/hi and hand lround an undefined argument. Such
+// diffs are excluded from the range and quantized to the block zero point;
+// the frame stays valid and every decoded weight is finite.
+TEST(ParamFrame, Q8NonFiniteDiffsEncodeFiniteAndBounded) {
+  Rng rng(19);
+  std::vector<float> base = correlated_params(rng, 2100);
+  std::vector<float> target = nudge(rng, base, 1e-2);
+  target[3] = std::numeric_limits<float>::quiet_NaN();
+  target[1500] = std::numeric_limits<float>::infinity();
+  target[2050] = -std::numeric_limits<float>::infinity();
+  base[700] = std::numeric_limits<float>::quiet_NaN();  // NaN diff via base
+  const Blob frame = encode_params_q8(base, target, 6);
+  ASSERT_TRUE(validate_frame(frame));
+  const std::vector<float> decoded = decode_params(frame, base);
+  ASSERT_EQ(decoded.size(), target.size());
+  float lo = 0.0f, hi = 0.0f;
+  for (std::size_t i = 0; i < target.size(); ++i) {
+    const float d = target[i] - base[i];
+    if (!std::isfinite(d)) continue;
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+  }
+  const float bound = (hi - lo) / 255.0f * 0.51f + 1e-6f;
+  for (std::size_t i = 0; i < decoded.size(); ++i) {
+    if (std::isfinite(base[i])) {
+      ASSERT_TRUE(std::isfinite(decoded[i])) << "index " << i;
+    }
+    const float d = target[i] - base[i];
+    if (std::isfinite(d)) {
+      ASSERT_LE(std::abs(decoded[i] - target[i]), bound) << "index " << i;
+    }
+  }
 }
 
 TEST(ParamFrame, FullParamBlobIsNotAFrame) {
