@@ -58,11 +58,19 @@ check "failing test status propagates" \
 # 5. The suites the TSan stage targets by default actually exist in this
 #    build, so the regex can never silently select nothing.
 for suite in test_thread_pool test_tensor test_nn_layers test_nn_model \
-             test_exec_threading test_obs; do
+             test_exec_threading test_obs test_wire_codec test_consensus; do
   check "tsan target ${suite} registered" \
     bash -c "ctest --test-dir '${BUILD_DIR}' -N -R '^${suite}\$' \
                2>/dev/null | grep -q 'Total Tests: 1'"
 done
+
+# 6. The consensus suite stays in both TSan regexes — it carries the
+#    byzantine/quorum determinism properties the soak tier scales up, so
+#    dropping it from either script would silently shrink sanitizer coverage.
+check "sanitize.sh tsan regex includes test_consensus" \
+  bash -c "grep -E '^TSAN_REGEX=' ci/sanitize.sh | grep -q test_consensus"
+check "soak.sh tsan regex includes test_consensus" \
+  bash -c "grep -E '^export VCDL_TSAN_REGEX=' ci/soak.sh | grep -q test_consensus"
 
 if [[ "${failures}" -ne 0 ]]; then
   echo "ci self-test: ${failures} check(s) failed"

@@ -42,6 +42,36 @@ struct ExperimentSpec {
   /// Reliability-gated assignment threshold (§III-B); 0 disables the gate.
   double reliability_gate = 0.0;
 
+  // Byzantine resilience (docs/SIMULATION.md §5c). All defaults off — runs
+  // that never touch these stay TraceDigest- and metrics-identical to
+  // pre-consensus builds.
+  /// Seeded adversary schedule (sim/faults.hpp): a fraction of the fleet
+  /// returns checksum-valid but semantically wrong parameter payloads.
+  AdversaryPlan adversary;
+  /// Replica-consensus quorum in front of assimilation (grid/consensus.hpp).
+  struct ConsensusSpec {
+    bool enabled = false;
+    std::size_t quorum = 2;     // m: agreeing replicas needed (≤ k)
+    /// Relative-L2 equivalence tolerance between decoded replicas; 0 means
+    /// exact payload-hash matching (only meaningful with stub executions —
+    /// honest replicas of a real training unit are never bit-identical).
+    double tolerance = 0.05;
+    /// Plurality-fallback delay after the first held replica; 0 derives it
+    /// from subtask_timeout_s.
+    SimTime fallback_s = 0.0;
+  };
+  ConsensusSpec consensus;
+  /// BOINC-style adaptive replication (grid/scheduler.hpp): trusted clients
+  /// run units solo with probabilistic spot-checks, untrusted/new clients
+  /// trigger the full redundancy factor.
+  bool adaptive_replication = false;
+  double adaptive_trust_threshold = 0.7;
+  std::size_t adaptive_untrusted_replication = 3;
+  double adaptive_spot_check_prob = 0.1;
+  /// Relative-L2 norm-deviation gate on the VC-ASGD blend; 0 disables
+  /// (VcAsgdAssimilator::Options::blend_outlier_threshold).
+  double blend_outlier_threshold = 0.0;
+
   // Client-side local training.
   std::size_t local_epochs = 4;       // passes over the shard per subtask
   std::size_t batch_size = 10;
@@ -159,6 +189,13 @@ struct RunTotals {
   std::uint64_t server_crashes = 0;
   std::uint64_t checkpoint_restores = 0;
   std::uint64_t reissued_units = 0;      // units un-retired by crash recovery
+  // Byzantine-resilience accounting (all zero with the features off).
+  std::uint64_t byzantine_attacks = 0;   // adversary payload tamperings
+  std::uint64_t consensus_quorums = 0;   // units promoted by m-of-k agreement
+  std::uint64_t consensus_fallbacks = 0; // plurality promotions (no quorum)
+  std::uint64_t results_outvoted = 0;    // replicas rejected by consensus
+  std::uint64_t blend_rejections = 0;    // blend outlier-guard drops
+  std::uint64_t spot_checks = 0;         // adaptive-replication audits
 };
 
 /// One periodic metrics-snapshot delivery (spec.metrics_snapshot_period_s).

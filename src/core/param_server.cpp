@@ -6,6 +6,7 @@
 
 #include "core/eval.hpp"
 #include "core/vcasgd.hpp"
+#include "grid/consensus.hpp"
 #include "nn/model_io.hpp"
 #include "obs/metrics.hpp"
 #include "sim/engine.hpp"
@@ -146,6 +147,33 @@ std::optional<std::vector<float>> VcAsgdAssimilator::decode_payload(
   return decode_params(payload, published_);
 }
 
+std::optional<std::vector<float>> VcAsgdAssimilator::peek_decode(
+    const Blob& payload) const {
+  if (!is_wire_frame(payload)) return load_params(payload);
+  const WireFrame frame = read_frame_header(payload);
+  const auto it = base_ring_.find(frame.base_version);
+  if (it != base_ring_.end() && it->second.hash == frame.base_hash) {
+    return decode_params(payload, it->second.params);
+  }
+  // No speculative fallback decode here (unlike decode_payload): an
+  // undecodable replica must stay incomparable, not coincidentally match.
+  return std::nullopt;
+}
+
+std::optional<std::vector<float>> VcAsgdAssimilator::guarded_decode(
+    const ResultEnvelope& env, const std::vector<float>& server_params) {
+  std::optional<std::vector<float>> client_params = decode_payload(env.payload);
+  if (client_params.has_value() &&
+      blend_outlier(server_params, *client_params,
+                    options_.blend_outlier_threshold)) {
+    ++blend_rejections_;
+    trace_.record(engine_.now(), TraceKind::blend_rejected, "assimilator",
+                  env.unit.label() + " client-" + std::to_string(env.client));
+    client_params.reset();
+  }
+  return client_params;
+}
+
 void VcAsgdAssimilator::note_exec_base(WorkunitId unit) {
   exec_base_[unit].push_back(commits_);
 }
@@ -238,7 +266,7 @@ void VcAsgdAssimilator::try_assimilate(
                        "assimilate: params missing from store");
             std::vector<float> server_params = load_params(current->value);
             const std::optional<std::vector<float>> client_params =
-                decode_payload(shared_env->payload);
+                guarded_decode(*shared_env, server_params);
             if (client_params.has_value()) {
               vcasgd_update(server_params, *client_params, alpha);
               observe_gradient_age(shared_env->unit.id);
@@ -285,10 +313,11 @@ void VcAsgdAssimilator::try_assimilate(
         auto server_params =
             std::make_shared<std::vector<float>>(load_params(current->value));
         const std::optional<std::vector<float>> client_params =
-            decode_payload(shared_env->payload);
-        // A dropped upload (ring-missed lossless delta) skips the blend and
-        // the commit but still flows through validation + reporting: the
-        // unit is already retired at the scheduler.
+            guarded_decode(*shared_env, *server_params);
+        // A dropped upload (ring-missed lossless delta or a blend-guard
+        // rejection) skips the blend and the commit but still flows through
+        // validation + reporting: the unit is already retired at the
+        // scheduler.
         const bool applied = client_params.has_value();
         if (applied) vcasgd_update(*server_params, *client_params, alpha);
         const std::uint64_t read_version = current->version;

@@ -48,6 +48,12 @@ class VcAsgdAssimilator : public AssimilatorBackend {
     /// Past published versions kept as upload decode bases (and mirrored by
     /// the file server's download ring).
     std::size_t version_ring = 8;
+    /// Norm-deviation gate on the VC-ASGD blend (grid/consensus.hpp,
+    /// blend_outlier): a decoded client copy deviating from the current
+    /// server copy by more than this relative-L2 factor is dropped instead
+    /// of blended — the last line of defense against byzantine results that
+    /// survive (or bypass) replica consensus. 0 disables the guard.
+    double blend_outlier_threshold = 0.0;
   };
 
   /// `on_assimilated(epoch, subtask_val_acc)` fires once per assimilated
@@ -83,6 +89,17 @@ class VcAsgdAssimilator : public AssimilatorBackend {
   /// Commits applied so far — the logical clock gradient age is measured in.
   std::uint64_t commits() const { return commits_; }
 
+  /// Side-effect-free payload decode for replica-consensus equivalence
+  /// (ConsensusDecoder): full blobs through load_params, wire frames against
+  /// the base ring. No metrics move and no fallback decode happens — a
+  /// ring-missed frame returns nullopt (it forms a singleton class rather
+  /// than mispairing with honest replicas). Malformed payloads never reach
+  /// here (the grid server validates first).
+  std::optional<std::vector<float>> peek_decode(const Blob& payload) const;
+
+  /// Blend-guard rejections so far (Options::blend_outlier_threshold).
+  std::uint64_t blend_rejections() const { return blend_rejections_; }
+
   /// Called by the trainer when a client *starts computing* `unit`: records
   /// the commit count its gradient will be based on. When the unit's result
   /// is later assimilated, "assimilator.gradient_age" observes how many
@@ -117,6 +134,12 @@ class VcAsgdAssimilator : public AssimilatorBackend {
   ///    dropped (nullopt, counted in wire_codec.frames_dropped) and the
   ///    caller skips the blend.
   std::optional<std::vector<float>> decode_payload(const Blob& payload);
+  /// decode_payload plus the blend outlier guard: a decoded copy that
+  /// deviates from `server_params` beyond blend_outlier_threshold comes back
+  /// as nullopt (traced, counted) and the caller takes the dropped-upload
+  /// path.
+  std::optional<std::vector<float>> guarded_decode(
+      const ResultEnvelope& env, const std::vector<float>& server_params);
   /// Records the just-committed published copy in the base ring and prunes
   /// versions no in-flight unit is pinned to.
   void remember_base();
@@ -139,6 +162,7 @@ class VcAsgdAssimilator : public AssimilatorBackend {
   SimMutex txn_lock_;  // strong-store transaction serialization
   std::vector<float> published_;
   std::uint64_t commits_ = 0;
+  std::uint64_t blend_rejections_ = 0;
   // unit → commit counts its replicas started from, newest last. A unit can
   // run as several replicas (redundancy, timeout reissue), each trained from
   // whatever commit was current when *it* started; all of those bases stay

@@ -95,6 +95,13 @@ TrainResult VcTrainer::run() {
   if (spec_.reliability_gate > 0.0) {
     scheduler.set_reliability_gate(spec_.reliability_gate);
   }
+  if (spec_.adaptive_replication) {
+    Scheduler::AdaptiveReplication ar;
+    ar.trust_threshold = spec_.adaptive_trust_threshold;
+    ar.untrusted_replication = spec_.adaptive_untrusted_replication;
+    ar.spot_check_prob = spec_.adaptive_spot_check_prob;
+    scheduler.enable_adaptive_replication(ar, master.fork(0xADA7));
+  }
 
   // Fault injection: constructed only when the plan injects something, so
   // fault-free runs perform zero extra Rng draws and stay bit-identical.
@@ -102,6 +109,14 @@ TrainResult VcTrainer::run() {
   if (spec_.faults.any()) {
     injector = std::make_unique<FaultInjector>(spec_.faults,
                                                master.fork(0xFA17));
+  }
+
+  // Byzantine adversaries (sim/faults.hpp): like the injector, only built
+  // when the plan selects someone — honest runs draw nothing from 0xBAD0.
+  std::unique_ptr<AdversaryModel> adversary;
+  if (spec_.adversary.any()) {
+    adversary = std::make_unique<AdversaryModel>(spec_.adversary, spec_.clients,
+                                                 master.fork(0xBAD0));
   }
 
   const FleetCatalog catalog = table1_catalog();
@@ -151,6 +166,7 @@ TrainResult VcTrainer::run() {
   ps_opts.validation_subsample = spec_.validation_subsample;
   ps_opts.wire_mode = wire_mode;
   ps_opts.version_ring = spec_.wire_version_ring;
+  ps_opts.blend_outlier_threshold = spec_.blend_outlier_threshold;
   const auto schedule = make_alpha_schedule(spec_.alpha);
 
   std::vector<std::unique_ptr<SimClient>> clients;
@@ -196,6 +212,16 @@ TrainResult VcTrainer::run() {
         }
       });
   server.set_backend(&assimilator);
+  if (spec_.consensus.enabled) {
+    ConsensusBuffer::Config cc;
+    cc.quorum = spec_.consensus.quorum;
+    cc.tolerance = spec_.consensus.tolerance;
+    cc.fallback_s = spec_.consensus.fallback_s > 0.0 ? spec_.consensus.fallback_s
+                                                     : spec_.subtask_timeout_s;
+    server.enable_consensus(cc, [&assimilator](const Blob& payload) {
+      return assimilator.peek_decode(payload);
+    });
+  }
   assimilator.set_exec_pool(exec_pool.get());
   if (injector) assimilator.set_fault_injector(injector.get());
   assimilator.publish_initial(initial_params);
@@ -226,7 +252,6 @@ TrainResult VcTrainer::run() {
   Model worker_model = template_model;  // scratch replica (DES is serial)
   const ExecuteFn execute = [&](const Workunit& unit, ClientId client,
                                 ExecContext& exec) -> ExecOutcome {
-    (void)client;
     VCDL_CHECK(unit.shard < shards.count(), "execute: shard out of range");
     const Dataset& shard = shards.shards[unit.shard];
     // Gradient-age bookkeeping: this subtask's gradient is based on the
@@ -261,6 +286,15 @@ TrainResult VcTrainer::run() {
         worker_model.zero_grads();
         worker_model.backward(loss.grad, exec);
         optimizer->step(worker_model);
+      }
+    }
+    if (adversary != nullptr && adversary->is_adversary(client)) {
+      // The attack tampers with the trained weights *before* encoding, so the
+      // payload passes every checksum and the validator — only semantic
+      // defenses (consensus, the blend guard) can catch it.
+      std::vector<float> tampered = worker_model.flat_params();
+      if (adversary->attack(tampered, unit.id)) {
+        worker_model.set_flat_params(tampered);
       }
     }
     Blob payload;
@@ -385,6 +419,14 @@ TrainResult VcTrainer::run() {
   result.totals.param_bytes_full = files.stats().bytes_delta_full;
   result.totals.delta_pulls = files.stats().delta_pulls;
   result.totals.duplicates = server.stats().duplicates;
+  if (adversary != nullptr) {
+    result.totals.byzantine_attacks = adversary->stats().attacks;
+  }
+  result.totals.consensus_quorums = server.stats().consensus_quorums;
+  result.totals.consensus_fallbacks = server.stats().consensus_fallbacks;
+  result.totals.results_outvoted = server.stats().results_outvoted;
+  result.totals.blend_rejections = assimilator.blend_rejections();
+  result.totals.spot_checks = scheduler.stats().spot_checks;
   result.totals.parameter_count = template_model.parameter_count();
   result.final_params = assimilator.published_params();
   result.metrics = obs::registry().snapshot();

@@ -30,11 +30,21 @@ SchedulerMetrics& metrics() {
   static SchedulerMetrics m;
   return m;
 }
+
+// Outside SchedulerMetrics on purpose: that struct registers as a bundle on
+// any scheduler activity, but this path only exists under consensus — and a
+// registered-but-zero counter would change default runs' snapshot bytes.
+obs::Counter& replica_lost_counter() {
+  static obs::Counter& c =
+      obs::registry().counter("scheduler.failure.replica_lost");
+  return c;
+}
 }  // namespace
 
 const std::vector<std::string>& scheduler_failure_kinds() {
   static const std::vector<std::string> kinds = {
-      "timeout", "fast_fail", "invalid_result", "reissue_lost"};
+      "timeout", "fast_fail", "invalid_result", "reissue_lost",
+      "replica_lost"};
   return kinds;
 }
 
@@ -51,12 +61,28 @@ void Scheduler::clear_cache(ClientId id) {
   if (it != clients_.end()) it->second.cached.clear();
 }
 
+void Scheduler::enable_adaptive_replication(const AdaptiveReplication& config,
+                                            Rng rng) {
+  VCDL_CHECK(config.untrusted_replication >= 1,
+             "Scheduler: untrusted_replication must be >= 1");
+  VCDL_CHECK(config.spot_check_prob >= 0.0 && config.spot_check_prob <= 1.0,
+             "Scheduler: spot_check_prob out of [0,1]");
+  adaptive_enabled_ = true;
+  adaptive_ = config;
+  adaptive_rng_ = rng;
+  // Registration is config-driven: both counters exist from the moment the
+  // feature is on, so same-seed snapshots don't depend on which draws fired.
+  spot_check_counter_ = &obs::registry().counter("consensus.spot_checks");
+  solo_grant_counter_ = &obs::registry().counter("consensus.solo_grants");
+}
+
 void Scheduler::add_unit(const Workunit& unit) {
   VCDL_CHECK(unit.replication >= 1, "Scheduler: replication must be >= 1");
   VCDL_CHECK(units_.count(unit.id) == 0, "Scheduler: duplicate workunit id");
   PendingUnit p;
   p.unit = unit;
   p.replicas_left = unit.replication;
+  p.replication_total = unit.replication;
   units_.emplace(unit.id, std::move(p));
   ready_.push_back(unit.id);
   ++outstanding_;
@@ -71,7 +97,8 @@ std::vector<Workunit> Scheduler::request_work(ClientId client,
   VCDL_CHECK(cit != clients_.end(), "Scheduler: unregistered client");
   const auto& cached = cit->second.cached;
   if (reliability_gate_ > 0.0 &&
-      cit->second.reliability < reliability_gate_) {
+      std::min(cit->second.availability, cit->second.integrity) <
+          reliability_gate_) {
     max_units = std::min<std::size_t>(max_units, 1);
   }
 
@@ -103,6 +130,33 @@ std::vector<Workunit> Scheduler::request_work(ClientId client,
         }
         ++stats_.affinity_hits;
       }
+      // Adaptive replication decides the unit's redundancy once, at first
+      // issue, from the *requesting* client's integrity record: a trusted
+      // client runs it solo (modulo a spot-check audit), anyone else — new
+      // clients included, integrity starts at 0.5 — triggers the full
+      // redundancy factor so consensus has replicas to vote with.
+      if (adaptive_enabled_ && !p.replication_decided) {
+        p.replication_decided = true;
+        const bool trusted =
+            cit->second.integrity >= adaptive_.trust_threshold;
+        const bool audited =
+            trusted && adaptive_.spot_check_prob > 0.0 &&
+            adaptive_rng_.bernoulli(adaptive_.spot_check_prob);
+        if (trusted && !audited) {
+          p.replication_total = 1;
+          ++stats_.solo_grants;
+          solo_grant_counter_->inc();
+        } else {
+          p.replication_total =
+              std::max(p.unit.replication, adaptive_.untrusted_replication);
+          if (audited) {
+            ++stats_.spot_checks;
+            spot_check_counter_->inc();
+          }
+        }
+        p.replicas_left = p.replication_total;
+        p.unit.replication = p.replication_total;
+      }
       // Issue one replica to this client.
       --p.replicas_left;
       p.issued_to.insert(client);
@@ -133,7 +187,10 @@ bool Scheduler::report_result(ClientId client, WorkunitId unit, SimTime now) {
 
   const auto uit = units_.find(unit);
   VCDL_CHECK(uit != units_.end(), "Scheduler: result for unknown unit");
-  bump_reliability(client, true);
+  // An accepted, validated result is evidence of both delivery and honesty —
+  // consensus-agreeing duplicates land here too and earn the same credit.
+  bump_availability(client, true);
+  bump_integrity(client, true);
   if (uit->second.done) {
     ++stats_.duplicate_results;
     return false;
@@ -169,7 +226,7 @@ void Scheduler::release_assignment(ClientId client, WorkunitId unit) {
 void Scheduler::report_failure(ClientId client, WorkunitId unit, SimTime now) {
   (void)now;
   VCDL_CHECK(units_.count(unit) > 0, "Scheduler: failure for unknown unit");
-  bump_reliability(client, false);
+  bump_availability(client, false);
   ++stats_.failures;
   metrics().fast_fail.inc();
   release_assignment(client, unit);
@@ -179,11 +236,51 @@ void Scheduler::report_failure(ClientId client, WorkunitId unit, SimTime now) {
 void Scheduler::report_invalid(ClientId client, WorkunitId unit, SimTime now) {
   (void)now;
   VCDL_CHECK(units_.count(unit) > 0, "Scheduler: invalid result, unknown unit");
-  bump_reliability(client, false);
+  // The payload arrived fine — what it *contained* was wrong. Only the
+  // integrity reputation takes the hit.
+  bump_integrity(client, false);
   ++stats_.invalid_results;
   metrics().invalid.inc();
   release_assignment(client, unit);
   update_gauges();
+}
+
+void Scheduler::report_replica(ClientId client, WorkunitId unit) {
+  VCDL_CHECK(units_.count(unit) > 0, "Scheduler: replica for unknown unit");
+  // Drop the assignment so the deadline sweep never fires on a replica that
+  // already uploaded; keep the issued_to hold (the client must not be handed
+  // the same unit again while its replica awaits quorum) and defer all
+  // reputation movement to the consensus verdict.
+  const auto it = std::find_if(inflight_.begin(), inflight_.end(),
+                               [&](const Assignment& a) {
+                                 return a.unit == unit && a.client == client;
+                               });
+  if (it != inflight_.end()) inflight_.erase(it);
+  ++stats_.held_replicas;
+  update_gauges();
+}
+
+void Scheduler::reissue_replica(WorkunitId unit, ClientId client) {
+  auto& p = units_.at(unit);
+  ++stats_.lost_replicas;
+  replica_lost_counter().inc();
+  if (p.done) return;  // promoted before the crash; nothing to replace
+  p.issued_to.erase(client);
+  ++p.replicas_left;
+  push_ready(unit);
+  update_gauges();
+}
+
+bool Scheduler::is_retired(WorkunitId unit) const {
+  const auto it = units_.find(unit);
+  VCDL_CHECK(it != units_.end(), "Scheduler: retirement of unknown unit");
+  return it->second.done;
+}
+
+std::size_t Scheduler::effective_replication(WorkunitId unit) const {
+  const auto it = units_.find(unit);
+  VCDL_CHECK(it != units_.end(), "Scheduler: replication of unknown unit");
+  return it->second.replication_total;
 }
 
 void Scheduler::reissue_lost(WorkunitId unit) {
@@ -228,7 +325,7 @@ std::vector<WorkunitId> Scheduler::expire_deadlines(SimTime now) {
       continue;
     }
     auto& p = units_.at(it->unit);
-    bump_reliability(it->client, false);
+    bump_availability(it->client, false);
     ++stats_.timeouts;
     metrics().timeout.inc();
     if (!p.done) {
@@ -263,9 +360,19 @@ std::size_t Scheduler::ready_count() const {
 }
 
 double Scheduler::reliability(ClientId id) const {
+  return std::min(availability(id), integrity(id));
+}
+
+double Scheduler::availability(ClientId id) const {
   const auto it = clients_.find(id);
   VCDL_CHECK(it != clients_.end(), "Scheduler: unknown client");
-  return it->second.reliability;
+  return it->second.availability;
+}
+
+double Scheduler::integrity(ClientId id) const {
+  const auto it = clients_.find(id);
+  VCDL_CHECK(it != clients_.end(), "Scheduler: unknown client");
+  return it->second.integrity;
 }
 
 void Scheduler::update_gauges() const {
@@ -273,10 +380,16 @@ void Scheduler::update_gauges() const {
   metrics().inflight.set(static_cast<double>(inflight_.size()));
 }
 
-void Scheduler::bump_reliability(ClientId id, bool success) {
+void Scheduler::bump_availability(ClientId id, bool success) {
   auto& c = clients_.at(id);
-  c.reliability = (1.0 - kReliabilityEma) * c.reliability +
-                  kReliabilityEma * (success ? 1.0 : 0.0);
+  c.availability = (1.0 - kReliabilityEma) * c.availability +
+                   kReliabilityEma * (success ? 1.0 : 0.0);
+}
+
+void Scheduler::bump_integrity(ClientId id, bool success) {
+  auto& c = clients_.at(id);
+  c.integrity = (1.0 - kReliabilityEma) * c.integrity +
+                kReliabilityEma * (success ? 1.0 : 0.0);
 }
 
 }  // namespace vcdl

@@ -7,12 +7,21 @@
 // transfers (report_failure), the validator rejects corrupted payloads
 // (report_invalid), and a grid-server crash un-retires accepted-but-not-yet-
 // assimilated units (reissue_lost). All three requeue immediately. The
-// scheduler also tracks a per-client reliability score (exponential moving
-// average of assignment outcomes) and implements two BOINC policies:
+// scheduler also tracks two per-client reputation scores (exponential moving
+// averages of assignment outcomes): *availability* — does the client deliver
+// at all (transfer failures, deadline misses) — and *integrity* — are its
+// delivered results correct (validator and consensus rejections). Splitting
+// them means a flaky-network client is not treated like a dishonest one; the
+// combined reliability() is their minimum. The scheduler implements three
+// BOINC policies on top:
 //   * sticky-file affinity: prefer giving a unit to a client that already
 //     caches its sticky inputs (avoids repeated shard downloads);
 //   * replication: a unit may be issued to k distinct clients for
-//     computational redundancy; the first result retires it.
+//     computational redundancy; the first result retires it (or, with the
+//     ConsensusBuffer in front, an m-of-k quorum does);
+//   * adaptive replication: clients above an integrity threshold run at
+//     replication 1 (with probabilistic spot-checks); untrusted or new
+//     clients get the full redundancy factor.
 #pragma once
 
 #include <deque>
@@ -21,9 +30,14 @@
 #include <set>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "grid/workunit.hpp"
 
 namespace vcdl {
+
+namespace obs {
+class Counter;
+}  // namespace obs
 
 class Scheduler {
  public:
@@ -35,8 +49,24 @@ class Scheduler {
     std::uint64_t timeouts = 0;
     std::uint64_t affinity_hits = 0;  // assignment matched a cached sticky file
     std::uint64_t failures = 0;       // client fast-fail abandonments
-    std::uint64_t invalid_results = 0;  // validator rejections (corruption)
+    std::uint64_t invalid_results = 0;  // validator/consensus rejections
     std::uint64_t reissues = 0;       // retired units un-retired after a crash
+    std::uint64_t held_replicas = 0;  // uploads parked in a consensus buffer
+    std::uint64_t lost_replicas = 0;  // held replicas requeued after a crash
+    std::uint64_t spot_checks = 0;    // trusted clients audited anyway
+    std::uint64_t solo_grants = 0;    // units issued unreplicated on trust
+  };
+
+  /// BOINC-style adaptive replication (enable_adaptive_replication): a unit
+  /// first requested by a client whose integrity reputation clears
+  /// trust_threshold is issued unreplicated — except for a spot_check_prob
+  /// audit, which (like any request by an untrusted or new client) raises the
+  /// unit to at least untrusted_replication replicas so consensus has a
+  /// quorum to vote with.
+  struct AdaptiveReplication {
+    double trust_threshold = 0.7;
+    std::size_t untrusted_replication = 3;
+    double spot_check_prob = 0.1;
   };
 
   /// Registers a client; must be called before it requests work.
@@ -47,6 +77,10 @@ class Scheduler {
   /// threshold is granted at most one unit per request, limiting the blast
   /// radius of flaky machines while still letting them earn trust back.
   void set_reliability_gate(double threshold) { reliability_gate_ = threshold; }
+
+  /// Enables adaptive replication. The Rng drives spot-check draws; fork it
+  /// off the run's master seed so draw order stays deterministic.
+  void enable_adaptive_replication(const AdaptiveReplication& config, Rng rng);
 
   /// Marks a sticky file as cached (or evicted) on a client, for affinity.
   void note_cached(ClientId id, const std::string& file);
@@ -71,13 +105,37 @@ class Scheduler {
   void report_failure(ClientId client, WorkunitId unit, SimTime now);
 
   /// The server-side validator rejected this client's uploaded payload
-  /// (corruption). Penalizes reliability and requeues the replica at once.
+  /// (corruption), or replica consensus outvoted it. Penalizes the client's
+  /// integrity reputation and requeues the replica at once (a no-op when the
+  /// unit already retired — the consensus-outvoted case).
   void report_invalid(ClientId client, WorkunitId unit, SimTime now);
+
+  /// A replica upload arrived but is parked in the consensus buffer awaiting
+  /// quorum: the transfer is over, so the assignment (and its deadline) is
+  /// dropped — without retiring the unit or judging the client. The
+  /// integrity verdict lands later via report_result / report_invalid.
+  void report_replica(ClientId client, WorkunitId unit);
+
+  /// A held replica was lost before its quorum resolved (grid-server crash
+  /// flushing the consensus buffer): requeue one replacement replica and let
+  /// the holder run it again. Without this the unit would be stranded — not
+  /// retired, no replicas left, nothing in flight.
+  void reissue_replica(WorkunitId unit, ClientId client);
 
   /// Un-retires a unit whose accepted result was lost before assimilation
   /// (grid-server crash): the unit becomes ready again and counts as
   /// outstanding. No-op if the unit was never retired.
   void reissue_lost(WorkunitId unit);
+
+  /// True once the unit's canonical result has been accepted. The grid
+  /// server early-outs late replication extras on this — before paying for
+  /// validation.
+  bool is_retired(WorkunitId unit) const;
+
+  /// Total replicas the scheduler settled on for this unit (adaptive
+  /// replication may override Workunit::replication at first issue) — the k
+  /// the consensus quorum is measured against.
+  std::size_t effective_replication(WorkunitId unit) const;
 
   /// Requeues assignments whose deadline has passed; returns the affected
   /// unit ids. Reduces the reliability of the clients that missed.
@@ -95,13 +153,21 @@ class Scheduler {
   /// the queue-leak fix (retired ids must be purged, not skipped forever).
   std::size_t ready_queue_size() const { return ready_.size(); }
 
+  /// Combined reputation — the minimum of availability and integrity (the
+  /// gate should throttle a client that is bad either way).
   double reliability(ClientId id) const;
+  /// Transfer/deadline track record: does the client deliver at all.
+  double availability(ClientId id) const;
+  /// Correctness track record: validator and consensus verdicts.
+  double integrity(ClientId id) const;
   const Stats& stats() const { return stats_; }
 
  private:
   struct PendingUnit {
     Workunit unit;
     std::size_t replicas_left = 1;      // issues remaining
+    std::size_t replication_total = 1;  // k settled for this unit
+    bool replication_decided = false;   // adaptive policy ran at first issue
     std::set<ClientId> issued_to;       // clients holding a replica
     bool done = false;                  // first result arrived
   };
@@ -113,11 +179,13 @@ class Scheduler {
   };
 
   struct ClientState {
-    double reliability = 0.5;
+    double availability = 0.5;
+    double integrity = 0.5;
     std::set<std::string> cached;
   };
 
-  void bump_reliability(ClientId id, bool success);
+  void bump_availability(ClientId id, bool success);
+  void bump_integrity(ClientId id, bool success);
   /// Pushes ready/inflight depths into the obs gauges after any mutation.
   void update_gauges() const;
   /// Shared requeue logic for fast-fail / invalid-result / timeout paths:
@@ -131,6 +199,13 @@ class Scheduler {
   std::map<ClientId, ClientState> clients_;
   std::size_t outstanding_ = 0;         // units not yet done
   double reliability_gate_ = 0.0;       // 0 = disabled
+  bool adaptive_enabled_ = false;
+  AdaptiveReplication adaptive_;
+  Rng adaptive_rng_;                    // spot-check draws
+  // Resolved at enable_adaptive_replication — "consensus.spot_checks" /
+  // "consensus.solo_grants" must not register on runs without the feature.
+  obs::Counter* spot_check_counter_ = nullptr;
+  obs::Counter* solo_grant_counter_ = nullptr;
   Stats stats_;
 };
 

@@ -35,6 +35,19 @@ GridServer::GridServer(SimEngine& engine, Scheduler& scheduler, TraceLog& trace,
   VCDL_CHECK(validator_ != nullptr, "GridServer: null validator");
 }
 
+void GridServer::enable_consensus(ConsensusBuffer::Config config,
+                                  ConsensusDecoder decoder) {
+  VCDL_CHECK(consensus_ == nullptr, "GridServer: consensus already enabled");
+  VCDL_CHECK(config.fallback_s > 0.0,
+             "GridServer: consensus fallback_s must be positive");
+  consensus_ =
+      std::make_unique<ConsensusBuffer>(config, std::move(decoder));
+}
+
+std::size_t GridServer::held_replicas() const {
+  return consensus_ ? consensus_->held_replicas() : 0;
+}
+
 bool GridServer::submit_result(ClientId client, const Workunit& unit,
                                Blob payload) {
   if (!up_) {
@@ -46,6 +59,17 @@ bool GridServer::submit_result(ClientId client, const Workunit& unit,
   metrics().received.inc();
   trace_.record(engine_.now(), TraceKind::result_received,
                 "client-" + std::to_string(client), unit.label());
+  if (scheduler_.is_retired(unit.id)) {
+    // Late replication extra for an already-retired unit: skip the validator
+    // (no point paying validation compute, and a garbled late duplicate must
+    // not skew the invalid stats) and record the duplicate directly — the
+    // scheduler still credits the client's delivery.
+    ++stats_.retired_skips;
+    ++stats_.duplicates;
+    metrics().duplicates.inc();
+    (void)scheduler_.report_result(client, unit.id, engine_.now());
+    return true;
+  }
   if (!validator_(payload)) {
     ++stats_.invalid;
     metrics().invalid.inc();
@@ -58,6 +82,21 @@ bool GridServer::submit_result(ClientId client, const Workunit& unit,
   }
   trace_.record(engine_.now(), TraceKind::validated,
                 "client-" + std::to_string(client), unit.label());
+  if (consensus_ != nullptr) {
+    const bool first_hold = !consensus_->holding(unit.id);
+    ConsensusBuffer::Submission sub = consensus_->submit(
+        unit, client, std::move(payload), engine_.now(),
+        scheduler_.effective_replication(unit.id));
+    if (sub.outcome == ConsensusBuffer::Outcome::held) {
+      trace_.record(engine_.now(), TraceKind::consensus_held,
+                    "client-" + std::to_string(client), unit.label());
+      scheduler_.report_replica(client, unit.id);
+      if (first_hold) schedule_fallback(unit.id);
+      return true;
+    }
+    accept_promotion(std::move(sub));
+    return true;
+  }
   const bool first = scheduler_.report_result(client, unit.id, engine_.now());
   if (!first) {
     ++stats_.duplicates;
@@ -74,6 +113,64 @@ bool GridServer::submit_result(ClientId client, const Workunit& unit,
   metrics().queue_depth.set(static_cast<double>(queued_results()));
   maybe_start(ps_index);
   return true;
+}
+
+void GridServer::accept_promotion(ConsensusBuffer::Submission submission) {
+  VCDL_CHECK(submission.winner.has_value(),
+             "GridServer: promotion without a winner");
+  ResultEnvelope env = std::move(*submission.winner);
+  const std::string label = env.unit.label();
+  const bool by_quorum =
+      submission.outcome == ConsensusBuffer::Outcome::promoted;
+  if (by_quorum) {
+    ++stats_.consensus_quorums;
+    trace_.record(engine_.now(), TraceKind::consensus_quorum,
+                  "client-" + std::to_string(env.client),
+                  label + " " + std::to_string(submission.agreeing) +
+                      " agreeing");
+  } else {
+    ++stats_.consensus_fallbacks;
+    trace_.record(engine_.now(), TraceKind::consensus_fallback,
+                  "client-" + std::to_string(env.client),
+                  label + " " + std::to_string(submission.agreeing) +
+                      " agreeing");
+  }
+  // The winner retires the unit; agreeing and outvoted replicas are judged
+  // afterwards, so their scheduler calls see a retired unit and only touch
+  // reputations (no requeue).
+  const bool first =
+      scheduler_.report_result(env.client, env.unit.id, engine_.now());
+  for (const ClientId loser : submission.outvoted) {
+    ++stats_.results_outvoted;
+    trace_.record(engine_.now(), TraceKind::consensus_outvoted,
+                  "client-" + std::to_string(loser), label);
+    scheduler_.report_invalid(loser, env.unit.id, engine_.now());
+  }
+  if (!first) {
+    // A duplicate promotion can only follow a crash-reissue race; drop it
+    // rather than assimilating the same unit twice.
+    ++stats_.duplicates;
+    metrics().duplicates.inc();
+    return;
+  }
+  const std::size_t ps_index = rr_++ % ps_.size();
+  ps_[ps_index].queue.push_back(std::move(env));
+  metrics().queue_depth.set(static_cast<double>(queued_results()));
+  maybe_start(ps_index);
+}
+
+void GridServer::schedule_fallback(WorkunitId unit) {
+  // Quorum unreachable by the deadline (replicas lost to gated, crashed or
+  // endlessly-retrying clients): promote the plurality of whatever arrived.
+  // The generation guard kills the timer if a crash already flushed the
+  // buffer; the holding() check covers normal promotion in the meantime.
+  const std::uint64_t gen = generation_;
+  engine_.schedule(consensus_->config().fallback_s, [this, unit, gen] {
+    if (gen != generation_ || !up_ || consensus_ == nullptr) return;
+    if (!consensus_->holding(unit)) return;
+    auto sub = consensus_->flush(unit);
+    if (sub.has_value()) accept_promotion(std::move(*sub));
+  });
 }
 
 void GridServer::crash() {
@@ -97,6 +194,18 @@ void GridServer::crash() {
       worker.busy = false;
       worker.current = 0;
       ++lost;
+    }
+  }
+  if (consensus_ != nullptr) {
+    // Held replicas die with the server too. Each must be reissued — the
+    // holders' assignments were dropped at report_replica, so without this
+    // the unit would have no replicas left, nothing in flight, and no
+    // deadline to rescue it.
+    for (auto& [unit, clients] : consensus_->drain()) {
+      for (const ClientId holder : clients) {
+        scheduler_.reissue_replica(unit, holder);
+        ++lost;
+      }
     }
   }
   active_ = 0;

@@ -8,10 +8,16 @@
 // core library's VC-ASGD parameter server) which schedules its own store
 // reads/writes in virtual time and signals completion.
 //
+// Acceptance policy: first-checksum-valid-wins by default, or — with
+// enable_consensus() — BOINC majority validation: validated replicas are
+// parked in a ConsensusBuffer until m-of-k agree, the canonical result is
+// assimilated and outvoted clients are reported invalid (grid/consensus.hpp).
+//
 // Crash/restore semantics (fault injection, sim/faults.hpp): crash() takes
 // the server down — uploads are rejected until restore(), queued and
 // in-flight results are lost and their workunits un-retired at the scheduler
-// (Scheduler::reissue_lost), and the crash bumps a generation counter that
+// (Scheduler::reissue_lost), held consensus replicas are flushed and reissued
+// (Scheduler::reissue_replica), and the crash bumps a generation counter that
 // backends check so stale assimilation chains abort instead of committing
 // pre-crash state. The caller replays the last Checkpointer snapshot before
 // restore() so clients resume from the checkpoint.
@@ -19,7 +25,9 @@
 
 #include <deque>
 #include <functional>
+#include <memory>
 
+#include "grid/consensus.hpp"
 #include "grid/scheduler.hpp"
 #include "grid/workunit.hpp"
 #include "sim/trace.hpp"
@@ -58,6 +66,11 @@ class GridServer {
     std::uint64_t rejected_down = 0;   // uploads refused while crashed
     std::uint64_t crashes = 0;
     std::uint64_t lost_results = 0;    // accepted results dropped by a crash
+    std::uint64_t retired_skips = 0;   // late extras early-outed pre-validator
+    // Consensus accounting (zero when the quorum buffer is off).
+    std::uint64_t consensus_quorums = 0;    // m-of-k promotions
+    std::uint64_t consensus_fallbacks = 0;  // plurality promotions
+    std::uint64_t results_outvoted = 0;     // replicas reported invalid
   };
 
   GridServer(SimEngine& engine, Scheduler& scheduler, TraceLog& trace,
@@ -66,6 +79,17 @@ class GridServer {
   /// The assimilation logic is provided by the core library after
   /// construction (it needs a reference to this server for contention info).
   void set_backend(AssimilatorBackend* backend) { backend_ = backend; }
+
+  /// Installs a ConsensusBuffer in front of assimilation: validated uploads
+  /// are held until m-of-k replicas agree (the winner is assimilated, the
+  /// outvoted are reported invalid), with a per-unit plurality fallback
+  /// config.fallback_s after the first held replica. Call before the run
+  /// starts; the decoder is typically the assimilator's peek_decode.
+  void enable_consensus(ConsensusBuffer::Config config,
+                        ConsensusDecoder decoder);
+  bool consensus_enabled() const { return consensus_ != nullptr; }
+  /// Replicas currently parked awaiting quorum (0 when consensus is off).
+  std::size_t held_replicas() const;
 
   /// Client upload entry point (at engine.now()). Returns false when the
   /// server is down — the client should treat the upload as failed and back
@@ -115,12 +139,19 @@ class GridServer {
 
   void maybe_start(std::size_t ps_index);
   void schedule_snapshot();
+  /// Feeds a consensus promotion through the legacy accept path: credits the
+  /// winner (and agreeing duplicates), reports the outvoted invalid, and
+  /// queues the canonical envelope for assimilation.
+  void accept_promotion(ConsensusBuffer::Submission submission);
+  /// Arms the per-unit fallback timer when a replica is first held.
+  void schedule_fallback(WorkunitId unit);
 
   SimEngine& engine_;
   Scheduler& scheduler_;
   TraceLog& trace_;
   ResultValidator validator_;
   AssimilatorBackend* backend_ = nullptr;
+  std::unique_ptr<ConsensusBuffer> consensus_;
   std::vector<PsWorker> ps_;
   std::size_t rr_ = 0;       // round-robin dispatch cursor
   std::size_t active_ = 0;

@@ -1,0 +1,17 @@
+// Test-only sabotage hooks for the grid layer.
+//
+// Mirrors nn/test_hooks.hpp: each flag deliberately breaks one guarantee so
+// the property suite can prove its invariant checks have teeth (a mutation
+// smoke test flips the flag and the invariant MUST fail). All flags default
+// to off and cost one predictable branch; production code never sets them.
+#pragma once
+
+namespace vcdl::grid_hooks {
+
+/// When true, ConsensusBuffer::submit degenerates to the pre-consensus
+/// first-valid-wins policy: the first replica is promoted immediately, no
+/// quorum is awaited and nobody is outvoted. The "a minority result is never
+/// assimilated when quorum is enabled" invariant must catch this.
+inline bool consensus_first_result_wins = false;
+
+}  // namespace vcdl::grid_hooks

@@ -28,8 +28,8 @@ FaultMetrics& metrics() {
 
 const std::vector<std::string>& fault_kind_names() {
   static const std::vector<std::string> kinds = {
-      "transfer_drop", "transfer_stall", "corruption",
-      "store_failure", "store_slowdown", "server_crash"};
+      "transfer_drop",  "transfer_stall", "corruption",      "store_failure",
+      "store_slowdown", "server_crash",   "byzantine_result"};
   return kinds;
 }
 
@@ -119,6 +119,100 @@ void FaultInjector::corrupt(Blob& payload) {
   for (std::size_t i = 0; i < flips; ++i) {
     bytes[rng_.uniform_index(n)] ^= static_cast<std::uint8_t>(0x80 >> i);
   }
+}
+
+const char* attack_mode_name(AttackMode mode) {
+  switch (mode) {
+    case AttackMode::sign_flip: return "sign_flip";
+    case AttackMode::scale: return "scale";
+    case AttackMode::constant: return "constant";
+    case AttackMode::noise: return "noise";
+  }
+  return "?";
+}
+
+AttackMode attack_mode_from_name(const std::string& name) {
+  if (name == "sign_flip") return AttackMode::sign_flip;
+  if (name == "scale") return AttackMode::scale;
+  if (name == "constant") return AttackMode::constant;
+  if (name == "noise") return AttackMode::noise;
+  VCDL_CHECK(false, "unknown attack mode: " + name);
+  return AttackMode::sign_flip;
+}
+
+namespace {
+// Registered only when an attack actually fires — default (adversary-free)
+// runs must export byte-identical metrics snapshots, and the registry
+// snapshot includes every registered counter, zero-valued or not.
+obs::Counter& byzantine_counter() {
+  static obs::Counter& c = obs::registry().counter("faults.byzantine_result");
+  return c;
+}
+}  // namespace
+
+AdversaryModel::AdversaryModel(AdversaryPlan plan, std::size_t fleet_size,
+                               Rng rng)
+    : plan_(std::move(plan)), rng_(rng) {
+  VCDL_CHECK(plan_.fraction >= 0.0 && plan_.fraction <= 1.0,
+             "AdversaryPlan: fraction out of [0,1]");
+  VCDL_CHECK(plan_.attack_prob >= 0.0 && plan_.attack_prob <= 1.0,
+             "AdversaryPlan: attack_prob out of [0,1]");
+  VCDL_CHECK(plan_.noise_sigma >= 0.0, "AdversaryPlan: noise_sigma >= 0");
+  // Round to the nearest whole client; seeded shuffle picks which ones.
+  const auto count = static_cast<std::size_t>(
+      plan_.fraction * static_cast<double>(fleet_size) + 0.5);
+  std::vector<std::size_t> ids(fleet_size);
+  for (std::size_t i = 0; i < fleet_size; ++i) ids[i] = i;
+  rng_.shuffle(ids.begin(), ids.end());
+  adversaries_.assign(ids.begin(),
+                      ids.begin() + static_cast<std::ptrdiff_t>(
+                                        std::min(count, fleet_size)));
+  std::sort(adversaries_.begin(), adversaries_.end());
+  noise_seed_ = rng_();
+}
+
+bool AdversaryModel::is_adversary(std::size_t client) const {
+  return std::binary_search(adversaries_.begin(), adversaries_.end(), client);
+}
+
+bool AdversaryModel::attack(std::vector<float>& params, std::uint64_t unit) {
+  if (adversaries_.empty() || params.empty()) return false;
+  if (plan_.attack_prob < 1.0 && !rng_.bernoulli(plan_.attack_prob)) {
+    return false;
+  }
+  switch (plan_.mode) {
+    case AttackMode::sign_flip:
+      for (float& p : params) p = -p;
+      break;
+    case AttackMode::scale:
+      for (float& p : params) p *= static_cast<float>(plan_.scale_factor);
+      break;
+    case AttackMode::constant:
+      for (float& p : params) p = plan_.constant_value;
+      break;
+    case AttackMode::noise: {
+      // Subtle poisoning: gaussian noise scaled to the vector's RMS. The
+      // stream is keyed by the workunit when colluding (identical payloads
+      // per unit across all adversaries) and by a fresh ordinal otherwise
+      // (replicas never agree).
+      double sq = 0.0;
+      for (const float p : params) {
+        sq += static_cast<double>(p) * static_cast<double>(p);
+      }
+      const double rms = std::sqrt(sq / static_cast<double>(params.size()));
+      const double sigma = plan_.noise_sigma * std::max(rms, 1e-6);
+      const std::uint64_t key =
+          plan_.collude ? unit : mix64(unit, ++attack_ordinal_);
+      Rng noise(mix64(noise_seed_, key));
+      for (float& p : params) {
+        p += static_cast<float>(sigma * noise.normal());
+      }
+      break;
+    }
+  }
+  ++stats_.attacks;
+  byzantine_counter().inc();
+  return true;
 }
 
 SimTime RetryPolicy::delay(std::size_t attempt, Rng& rng) const {

@@ -111,10 +111,82 @@ class FaultInjector {
 
 /// Every fault kind the stack can inject; each increments the obs counter
 /// "faults.<kind>" at its injection site (the first five here, in
-/// FaultInjector; "server_crash" in GridServer::crash). The coverage test
-/// asserts set equality against the registry, so a new fault kind must land
-/// with its counter.
+/// FaultInjector; "server_crash" in GridServer::crash; "byzantine_result" in
+/// AdversaryModel::attack). The coverage test asserts set equality against
+/// the registry, so a new fault kind must land with its counter.
 const std::vector<std::string>& fault_kind_names();
+
+// --- Byzantine adversaries ---------------------------------------------------
+//
+// Unlike the transport faults above, an adversary returns a payload that is
+// *checksum-valid* — the corruption lives in the parameter values, so the
+// server-side validator waves it through and only replica consensus
+// (grid/consensus.hpp) or the blend outlier guard can catch it. This is the
+// BOINC threat model: volunteers returning wrong results, countered with
+// computational redundancy + majority validation.
+
+/// How a byzantine client corrupts its trained parameter vector.
+enum class AttackMode : std::uint8_t {
+  sign_flip,  // W ← −W: maximally wrong but norm-preserving
+  scale,      // W ← scale_factor · W: blows up / collapses the blend
+  constant,   // W ← constant_value everywhere: destroys all structure
+  noise,      // W ← W + σ·rms(W)·N(0,1): subtle, near-plausible poisoning
+};
+
+const char* attack_mode_name(AttackMode mode);
+AttackMode attack_mode_from_name(const std::string& name);
+
+/// Adversary schedule for one run. The default (fraction 0) selects nobody,
+/// constructs nothing, and draws no randomness.
+struct AdversaryPlan {
+  /// Fraction of the fleet that is byzantine (rounded to nearest client).
+  double fraction = 0.0;
+  AttackMode mode = AttackMode::sign_flip;
+  /// Chance a given completed subtask is attacked (1 = every result).
+  double attack_prob = 1.0;
+  double scale_factor = -8.0;   // AttackMode::scale multiplier
+  float constant_value = 0.0f;  // AttackMode::constant fill value
+  /// Noise stddev as a fraction of the parameter vector's RMS magnitude.
+  double noise_sigma = 0.25;
+  /// Colluding adversaries emit bit-identical payloads for the same workunit
+  /// (the noise stream is keyed by unit id, not by attack); independent ones
+  /// each draw their own noise, so their results never agree under exact or
+  /// tolerance equivalence.
+  bool collude = false;
+
+  bool any() const { return fraction > 0.0; }
+};
+
+/// Selects the byzantine subset of the fleet (seeded, deterministic) and
+/// applies the plan's attack to their outgoing parameter payloads. The
+/// attacked floats re-encode through the normal wire path, so checksums stay
+/// valid by construction.
+class AdversaryModel {
+ public:
+  struct Stats {
+    std::uint64_t attacks = 0;  // results actually corrupted
+  };
+
+  AdversaryModel(AdversaryPlan plan, std::size_t fleet_size, Rng rng);
+
+  bool is_adversary(std::size_t client) const;
+  /// Corrupts `params` in place per the plan; returns true when the attack
+  /// fired (counted under "faults.byzantine_result"). Deterministic per
+  /// (seed, unit, attack ordinal) — colluders keyed by unit alone.
+  bool attack(std::vector<float>& params, std::uint64_t unit);
+
+  const std::vector<std::size_t>& adversaries() const { return adversaries_; }
+  const AdversaryPlan& plan() const { return plan_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  AdversaryPlan plan_;
+  std::vector<std::size_t> adversaries_;  // sorted client indices
+  Rng rng_;                   // attack_prob draws (event order = draw order)
+  std::uint64_t noise_seed_ = 0;
+  std::uint64_t attack_ordinal_ = 0;  // keys independent (non-collude) noise
+  Stats stats_;
+};
 
 /// Capped exponential backoff with jitter — the client-side retry policy for
 /// failed downloads/uploads. After max_attempts the client abandons the

@@ -46,6 +46,11 @@ const char* trace_kind_name(TraceKind kind) {
     case TraceKind::checkpoint_saved: return "checkpoint_saved";
     case TraceKind::checkpoint_restored: return "checkpoint_restored";
     case TraceKind::store_fault: return "store_fault";
+    case TraceKind::consensus_held: return "consensus_held";
+    case TraceKind::consensus_quorum: return "consensus_quorum";
+    case TraceKind::consensus_outvoted: return "consensus_outvoted";
+    case TraceKind::consensus_fallback: return "consensus_fallback";
+    case TraceKind::blend_rejected: return "blend_rejected";
   }
   return "?";
 }

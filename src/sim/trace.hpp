@@ -38,6 +38,13 @@ enum class TraceKind : std::uint8_t {
   checkpoint_saved,     // parameter snapshot taken
   checkpoint_restored,  // snapshot replayed into store + parameter file
   store_fault,          // parameter-store op failed or spiked; PS backs off
+  // Replica consensus (grid/consensus.hpp). Only emitted when the quorum
+  // buffer is enabled, so default-off traces stay digest-identical.
+  consensus_held,       // validated replica parked awaiting quorum
+  consensus_quorum,     // m-of-k agreement promoted a canonical result
+  consensus_outvoted,   // replica disagreed with the winning class
+  consensus_fallback,   // plurality promotion (quorum unreachable)
+  blend_rejected,       // assimilator outlier guard refused a surviving result
 };
 
 const char* trace_kind_name(TraceKind kind);

@@ -180,6 +180,20 @@ ExperimentSpec gen_experiment_spec(Rng& rng, int size, bool chaos) {
       spec.faults.server_recovery_s = 30.0;
       spec.checkpoint_interval_s = 60.0;
     }
+    // Byzantine adversaries + replica consensus ride the chaos regime: the
+    // determinism and quorum invariants must hold under attack too.
+    if (rng.bernoulli(0.5)) {
+      spec.clients = std::max<std::size_t>(spec.clients, 3);
+      spec.adversary.fraction = 0.2 + 0.3 * rng.uniform();
+      spec.adversary.mode = static_cast<AttackMode>(rng.uniform_index(4));
+      spec.adversary.collude = rng.bernoulli(0.5);
+      spec.replication = 3;
+      spec.consensus.enabled = true;
+      spec.consensus.quorum = 2;
+      spec.consensus.tolerance = 0.1;
+      if (rng.bernoulli(0.5)) spec.blend_outlier_threshold = 4.0;
+      if (rng.bernoulli(0.5)) spec.adaptive_replication = true;
+    }
   }
   spec.seed = rng();
   // `size` widens the cluster a little at the top of the range so bigger

@@ -438,6 +438,12 @@ TEST(ObsCoverage, SchedulerFailureKindsMatchRegisteredCounters) {
   ASSERT_EQ(s.request_work(1, 1, 300.0).size(), 1u);
   EXPECT_TRUE(s.report_result(1, 4, 301.0));
   s.reissue_lost(4);
+  // replica_lost: a consensus-held replica dies with the server and gets
+  // reissued.
+  s.add_unit(make_unit(5));
+  ASSERT_EQ(s.request_work(1, 1, 400.0).size(), 1u);
+  s.report_replica(1, 5);
+  s.reissue_replica(5, 1);
 
   std::set<std::string> expected;
   for (const auto& k : scheduler_failure_kinds()) {
@@ -508,6 +514,15 @@ TEST(ObsCoverage, FaultKindsMatchRegisteredCounters) {
                       [](const Blob&) { return true; });
     server.crash();
     EXPECT_FALSE(server.is_up());
+  }
+  // byzantine_result is metered at its site too, AdversaryModel::attack().
+  {
+    AdversaryPlan plan;
+    plan.fraction = 1.0;
+    AdversaryModel adv(plan, 1, Rng(6));
+    std::vector<float> params = {1.0f, -2.0f, 3.0f};
+    EXPECT_TRUE(adv.is_adversary(0));
+    EXPECT_TRUE(adv.attack(params, 1));
   }
 
   std::set<std::string> expected;
