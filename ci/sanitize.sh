@@ -14,10 +14,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR=build-sanitize
 
+# Benches stay ON in this stage: the tier-1 suite includes
+# bench_hotpath_smoke, the thread-scaling gate (fails when the pooled hot
+# path is slower than serial at the widest in-core width). Running it under
+# ASan is fine — the gate compares pooled vs serial, both equally slowed.
 cmake -B "${BUILD_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DVCDL_SANITIZE="address;undefined" \
-  -DVCDL_BUILD_BENCHES=OFF \
+  -DVCDL_BUILD_BENCHES=ON \
   -DVCDL_BUILD_EXAMPLES=OFF
 cmake --build "${BUILD_DIR}" -j "$(nproc)"
 
@@ -50,7 +54,11 @@ cmake --build "${TSAN_DIR}" -j "$(nproc)"
 
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 
-TSAN_REGEX="${VCDL_TSAN_REGEX:-test_thread_pool|test_tensor|test_nn_layers|test_nn_model|test_exec_threading|test_obs|test_wire_codec|test_consensus}"
+# test_kernels runs the scalar-vs-SIMD equivalence properties with whatever
+# vector tier the host dispatches (plus a shared 4-thread pool), so the TSan
+# stage exercises the packed-panel sharing and caller-participation paths
+# with SIMD enabled — not just the scalar fallback.
+TSAN_REGEX="${VCDL_TSAN_REGEX:-test_thread_pool|test_tensor|test_nn_layers|test_nn_model|test_exec_threading|test_kernels|test_obs|test_wire_codec|test_consensus}"
 # Explicit status propagation: the TSan ctest is the last command, but making
 # the exit code visible keeps the contract obvious (and ci/test_ci_scripts.sh
 # asserts a failing stage fails the script).

@@ -58,7 +58,8 @@ check "failing test status propagates" \
 # 5. The suites the TSan stage targets by default actually exist in this
 #    build, so the regex can never silently select nothing.
 for suite in test_thread_pool test_tensor test_nn_layers test_nn_model \
-             test_exec_threading test_obs test_wire_codec test_consensus; do
+             test_exec_threading test_kernels test_obs test_wire_codec \
+             test_consensus; do
   check "tsan target ${suite} registered" \
     bash -c "ctest --test-dir '${BUILD_DIR}' -N -R '^${suite}\$' \
                2>/dev/null | grep -q 'Total Tests: 1'"

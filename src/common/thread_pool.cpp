@@ -68,14 +68,34 @@ void ThreadPool::parallel_for_indexed(
   }
   const std::size_t chunk = (n + chunks - 1) / chunks;
   std::vector<std::future<void>> futures;
-  futures.reserve(chunks);
-  for (std::size_t c = 0; c < chunks; ++c) {
+  futures.reserve(chunks - 1);
+  for (std::size_t c = 1; c < chunks; ++c) {
     const std::size_t lo = begin + c * chunk;
     const std::size_t hi = std::min(end, lo + chunk);
     if (lo >= hi) break;
     futures.push_back(submit([&fn, c, lo, hi] { fn(c, lo, hi); }));
   }
-  for (auto& f : futures) f.get();  // rethrows the first failure
+  // The caller runs chunk 0 itself instead of blocking on the futures: on a
+  // host with as many cores as workers, a sleeping dispatcher thread would
+  // otherwise leave the pool oversubscribed by one during every parallel
+  // region. Chunk boundaries are unchanged, so results are too.
+  std::exception_ptr first;
+  try {
+    fn(0, begin, std::min(end, begin + chunk));
+  } catch (...) {
+    first = std::current_exception();
+  }
+  // Drain EVERY future before returning, even after a failure: `fn` lives in
+  // the caller's frame, so unwinding while a chunk is still queued or running
+  // would leave that chunk a dangling reference. First failure wins.
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
 }
 
 ThreadPool& ThreadPool::global() {

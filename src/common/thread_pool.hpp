@@ -39,9 +39,12 @@ class ThreadPool {
   bool on_worker_thread() const;
 
   /// Runs fn(i) for i in [begin, end), splitting the range into roughly
-  /// `size()` contiguous chunks. Blocks until all chunks finish. Exceptions
-  /// from fn propagate to the caller (first one wins). Called from a worker
-  /// of this pool, the whole range runs inline on the caller (see above).
+  /// `size()` contiguous chunks. The caller executes chunk 0 itself while the
+  /// workers take the rest (so the dispatching thread contributes a core
+  /// instead of sleeping), then blocks until all chunks finish. Exceptions
+  /// from fn propagate to the caller (first one wins) — only after every
+  /// chunk has completed, so fn can never dangle. Called from a worker of
+  /// this pool, the whole range runs inline on the caller (see above).
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t, std::size_t)>& fn);
 

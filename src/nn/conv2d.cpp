@@ -18,8 +18,32 @@ obs::Histogram& im2col_metric() {
   return h;
 }
 
+// Half-open range of output columns whose stride-1 input column ix = ox + kx
+// - pad lands inside [0, w). Everything left of it is zero padding, everything
+// right of it too — so the interior is one contiguous run.
+struct OxRange {
+  std::size_t lo, hi;  // hi <= lo means the whole row is padding
+};
+
+OxRange valid_ox(std::size_t w, std::size_t ow, std::size_t kernel_x,
+                 std::size_t pad) {
+  const std::size_t lo = kernel_x >= pad ? 0 : pad - kernel_x;
+  const std::ptrdiff_t hi_signed = static_cast<std::ptrdiff_t>(w + pad) -
+                                   static_cast<std::ptrdiff_t>(kernel_x);
+  const std::size_t hi =
+      hi_signed <= 0
+          ? 0
+          : std::min(ow, static_cast<std::size_t>(hi_signed));
+  return {lo, hi};
+}
+
 // Expands the padded input patch matrix: col[(c*k*k + ky*k + kx)][oy*OW + ox]
 // = x[c][oy*stride + ky - pad][ox*stride + kx - pad] (0 outside).
+//
+// stride == 1 (every conv in the model zoo) takes a fast path: per (ky, kx,
+// oy) the interior columns are a single contiguous memcpy bracketed by two
+// padding memsets, instead of a per-column bounds check. Values written are
+// identical to the general path — it is pure copy layout, no arithmetic.
 void im2col(const float* x, std::size_t channels, std::size_t h, std::size_t w,
             std::size_t kernel, std::size_t stride, std::size_t pad,
             std::size_t oh, std::size_t ow, float* col) {
@@ -30,6 +54,8 @@ void im2col(const float* x, std::size_t channels, std::size_t h, std::size_t w,
     for (std::size_t ky = 0; ky < kernel; ++ky) {
       for (std::size_t kx = 0; kx < kernel; ++kx) {
         float* row = col + ((c * kernel + ky) * kernel + kx) * out_plane;
+        const OxRange r =
+            stride == 1 ? valid_ox(w, ow, kx, pad) : OxRange{0, 0};
         for (std::size_t oy = 0; oy < oh; ++oy) {
           const std::ptrdiff_t iy =
               static_cast<std::ptrdiff_t>(oy * stride + ky) -
@@ -39,14 +65,26 @@ void im2col(const float* x, std::size_t channels, std::size_t h, std::size_t w,
             continue;
           }
           const float* x_row = xc + static_cast<std::size_t>(iy) * w;
+          float* out_row = row + oy * ow;
+          if (stride == 1) {
+            if (r.lo > 0) std::memset(out_row, 0, r.lo * sizeof(float));
+            if (r.hi > r.lo) {
+              std::memcpy(out_row + r.lo, x_row + (r.lo + kx - pad),
+                          (r.hi - r.lo) * sizeof(float));
+            }
+            if (ow > r.hi) {
+              std::memset(out_row + std::max(r.lo, r.hi), 0,
+                          (ow - std::max(r.lo, r.hi)) * sizeof(float));
+            }
+            continue;
+          }
           for (std::size_t ox = 0; ox < ow; ++ox) {
             const std::ptrdiff_t ix =
                 static_cast<std::ptrdiff_t>(ox * stride + kx) -
                 static_cast<std::ptrdiff_t>(pad);
-            row[oy * ow + ox] =
-                (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w))
-                    ? 0.0f
-                    : x_row[static_cast<std::size_t>(ix)];
+            out_row[ox] = (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w))
+                              ? 0.0f
+                              : x_row[static_cast<std::size_t>(ix)];
           }
         }
       }
@@ -55,7 +93,10 @@ void im2col(const float* x, std::size_t channels, std::size_t h, std::size_t w,
 }
 
 // Scatter-adds the column matrix back into image layout (inverse of im2col
-// with accumulation at overlapping positions).
+// with accumulation at overlapping positions). Same stride-1 fast path as
+// im2col: the valid columns form one contiguous run, added left-to-right in
+// the identical order as the general loop, so the float sums are bitwise
+// unchanged.
 void col2im(const float* col, std::size_t channels, std::size_t h, std::size_t w,
             std::size_t kernel, std::size_t stride, std::size_t pad,
             std::size_t oh, std::size_t ow, float* x) {
@@ -66,18 +107,28 @@ void col2im(const float* col, std::size_t channels, std::size_t h, std::size_t w
     for (std::size_t ky = 0; ky < kernel; ++ky) {
       for (std::size_t kx = 0; kx < kernel; ++kx) {
         const float* row = col + ((c * kernel + ky) * kernel + kx) * out_plane;
+        const OxRange r =
+            stride == 1 ? valid_ox(w, ow, kx, pad) : OxRange{0, 0};
         for (std::size_t oy = 0; oy < oh; ++oy) {
           const std::ptrdiff_t iy =
               static_cast<std::ptrdiff_t>(oy * stride + ky) -
               static_cast<std::ptrdiff_t>(pad);
           if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
           float* x_row = xc + static_cast<std::size_t>(iy) * w;
+          const float* col_row = row + oy * ow;
+          if (stride == 1) {
+            float* dst = x_row + (r.lo + kx - pad);
+            for (std::size_t ox = r.lo; ox < r.hi; ++ox) {
+              *dst++ += col_row[ox];
+            }
+            continue;
+          }
           for (std::size_t ox = 0; ox < ow; ++ox) {
             const std::ptrdiff_t ix =
                 static_cast<std::ptrdiff_t>(ox * stride + kx) -
                 static_cast<std::ptrdiff_t>(pad);
             if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
-            x_row[static_cast<std::size_t>(ix)] += row[oy * ow + ox];
+            x_row[static_cast<std::size_t>(ix)] += col_row[ox];
           }
         }
       }

@@ -29,10 +29,7 @@ Tensor Dense::forward(const Tensor& x, ExecContext& ctx, bool training) {
   }
   Tensor y;
   ops::matmul(x, w_, y, /*accumulate=*/false, ctx.pool);
-  const std::size_t batch = x.shape()[0];
-  for (std::size_t b = 0; b < batch; ++b) {
-    ops::axpy(1.0f, b_.flat(), y.flat().subspan(b * out_, out_));
-  }
+  ops::add_bias(y.flat(), b_.flat(), x.shape()[0]);
   return y;
 }
 

@@ -18,7 +18,9 @@ Tensor MaxPool2D::forward(const Tensor& x, ExecContext& /*ctx*/,
   const std::size_t oh = h / window_, ow = w / window_;
   Tensor y(Shape{batch, c, oh, ow});
   if (training) {
-    argmax_.assign(y.numel(), 0);
+    // resize, not assign: every slot is overwritten below, and assign()
+    // re-zeroes the whole index array on every step of a stable geometry.
+    argmax_.resize(y.numel());
   } else {
     argmax_.clear();
     argmax_.shrink_to_fit();

@@ -16,6 +16,10 @@
 //     one worker, in the serial arithmetic order); only Conv2D's per-chunk
 //     weight-gradient reduction regroups float sums, so training losses match
 //     within tolerance rather than bitwise.
+//   * the SIMD tier is NOT part of the contract's state: every vector GEMM
+//     tier preserves the scalar reference's per-element accumulation order
+//     and never contracts mul+add into FMA, so scalar/AVX2/NEON produce
+//     bitwise-equal results (enforced by tests/test_kernels.cpp).
 #pragma once
 
 #include <cstddef>
@@ -34,7 +38,10 @@ class ThreadPool;
 ///
 /// Not thread-safe: borrow every buffer on the coordinating thread *before*
 /// fanning work out to a pool; the returned references stay valid until
-/// release() (slots are held behind stable pointers).
+/// release() (slots are held behind stable pointers). Each slot is a Tensor,
+/// whose backing store is 64-byte aligned (CacheAlignedAllocator), so two
+/// adjacent slots used as per-chunk accumulators can never false-share a
+/// cache line.
 class ScratchArena {
  public:
   /// Borrows slot `slot` resized to `shape`. Contents are unspecified.

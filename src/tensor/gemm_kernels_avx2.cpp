@@ -1,0 +1,119 @@
+// AVX2 GEMM micro-kernels. Compiled with -mavx2 -ffp-contract=off (see
+// src/tensor/CMakeLists.txt); selected at runtime only when cpuid reports
+// AVX2, so the rest of the binary stays runnable on older x86-64.
+//
+// Bit-exactness contract (gemm_kernels.hpp): every vector lane is one
+// independent C column accumulating its k-terms in ascending order with an
+// explicit mul-then-add pair — the same float (or double, for a_bt) rounding
+// sequence as the scalar reference. No FMA, no horizontal reduction, no
+// reordering. tests/test_kernels.cpp property-checks this against the scalar
+// tier; the serial-path goldens in test_exec_threading pin it end-to-end.
+
+#include "tensor/gemm_kernels.hpp"
+
+#if defined(VCDL_GEMM_AVX2)
+
+#include <immintrin.h>
+
+namespace vcdl::ops::detail {
+namespace {
+
+// j-tile outer, row inner: the (k_dim x 16)-float B strip a tile touches
+// stays L1-resident across every row of the block — the cache blocking the
+// old per-worker packed panel bought, without the packing.
+void broadcast_rows_avx2(const float* a, std::size_t a_row_stride,
+                         std::size_t a_col_stride, const float* b, float* c,
+                         std::size_t r0, std::size_t r1, std::size_t k_dim,
+                         std::size_t n_dim, bool zero_skip) {
+  std::size_t j0 = 0;
+  for (; j0 + 16 <= n_dim; j0 += 16) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      const float* a_i = a + i * a_row_stride;
+      float* c_tile = c + i * n_dim + j0;
+      __m256 acc0 = _mm256_loadu_ps(c_tile);
+      __m256 acc1 = _mm256_loadu_ps(c_tile + 8);
+      const float* b_tile = b + j0;
+      for (std::size_t k = 0; k < k_dim; ++k) {
+        const float a_ik = a_i[k * a_col_stride];
+        if (zero_skip && a_ik == 0.0f) continue;
+        const __m256 va = _mm256_set1_ps(a_ik);
+        const float* b_row = b_tile + k * n_dim;
+        acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(va, _mm256_loadu_ps(b_row)));
+        acc1 = _mm256_add_ps(acc1,
+                             _mm256_mul_ps(va, _mm256_loadu_ps(b_row + 8)));
+      }
+      _mm256_storeu_ps(c_tile, acc0);
+      _mm256_storeu_ps(c_tile + 8, acc1);
+    }
+  }
+  for (; j0 + 8 <= n_dim; j0 += 8) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      const float* a_i = a + i * a_row_stride;
+      float* c_tile = c + i * n_dim + j0;
+      __m256 acc = _mm256_loadu_ps(c_tile);
+      const float* b_tile = b + j0;
+      for (std::size_t k = 0; k < k_dim; ++k) {
+        const float a_ik = a_i[k * a_col_stride];
+        if (zero_skip && a_ik == 0.0f) continue;
+        const __m256 va = _mm256_set1_ps(a_ik);
+        acc = _mm256_add_ps(
+            acc, _mm256_mul_ps(va, _mm256_loadu_ps(b_tile + k * n_dim)));
+      }
+      _mm256_storeu_ps(c_tile, acc);
+    }
+  }
+  if (j0 < n_dim) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      const float* a_i = a + i * a_row_stride;
+      float* c_row = c + i * n_dim;
+      for (std::size_t k = 0; k < k_dim; ++k) {
+        const float a_ik = a_i[k * a_col_stride];
+        if (zero_skip && a_ik == 0.0f) continue;
+        const float* b_row = b + k * n_dim;
+        for (std::size_t j = j0; j < n_dim; ++j) c_row[j] += a_ik * b_row[j];
+      }
+    }
+  }
+}
+
+void a_bt_rows_avx2(const float* a, const float* b, const float* packed,
+                    float* c, std::size_t r0, std::size_t r1,
+                    std::size_t k_dim, std::size_t n_dim) {
+  const std::size_t tiles = n_dim / 4;
+  for (std::size_t i = r0; i < r1; ++i) {
+    const float* a_row = a + i * k_dim;
+    float* c_row = c + i * n_dim;
+    for (std::size_t t = 0; t < tiles; ++t) {
+      const float* tile = packed + t * k_dim * 4;
+      __m256d acc = _mm256_setzero_pd();
+      for (std::size_t kk = 0; kk < k_dim; ++kk) {
+        const __m256d va = _mm256_set1_pd(static_cast<double>(a_row[kk]));
+        const __m256d vb = _mm256_cvtps_pd(_mm_loadu_ps(tile + kk * 4));
+        acc = _mm256_add_pd(acc, _mm256_mul_pd(va, vb));
+      }
+      float* c_tile = c_row + t * 4;
+      const __m128 accf = _mm256_cvtpd_ps(acc);  // same rounding as the
+      _mm_storeu_ps(c_tile,                      // scalar double->float cast
+                    _mm_add_ps(_mm_loadu_ps(c_tile), accf));
+    }
+    for (std::size_t j = tiles * 4; j < n_dim; ++j) {
+      const float* b_row = b + j * k_dim;
+      double acc = 0.0;
+      for (std::size_t kk = 0; kk < k_dim; ++kk) {
+        acc += static_cast<double>(a_row[kk]) * b_row[kk];
+      }
+      c_row[j] += static_cast<float>(acc);
+    }
+  }
+}
+
+constexpr GemmKernels kAvx2Kernels{&broadcast_rows_avx2, &a_bt_rows_avx2,
+                                   /*wants_bt_panel=*/true};
+
+}  // namespace
+
+const GemmKernels& avx2_kernels() { return kAvx2Kernels; }
+
+}  // namespace vcdl::ops::detail
+
+#endif  // VCDL_GEMM_AVX2

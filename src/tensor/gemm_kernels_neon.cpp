@@ -1,0 +1,115 @@
+// NEON GEMM micro-kernels (aarch64). Compiled with -ffp-contract=off (see
+// src/tensor/CMakeLists.txt) so the vaddq(vmulq(...)) pairs — which GCC and
+// Clang implement as plain vector-extension `+`/`*` and would otherwise be
+// eligible for FMA contraction — stay separate mul/add instructions. Same
+// bit-exactness contract as the AVX2 tier: each lane is an independent C
+// column accumulating k-terms in ascending order with the scalar rounding
+// sequence.
+
+#include "tensor/gemm_kernels.hpp"
+
+#if defined(VCDL_GEMM_NEON)
+
+#include <arm_neon.h>
+
+namespace vcdl::ops::detail {
+namespace {
+
+void broadcast_rows_neon(const float* a, std::size_t a_row_stride,
+                         std::size_t a_col_stride, const float* b, float* c,
+                         std::size_t r0, std::size_t r1, std::size_t k_dim,
+                         std::size_t n_dim, bool zero_skip) {
+  std::size_t j0 = 0;
+  for (; j0 + 8 <= n_dim; j0 += 8) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      const float* a_i = a + i * a_row_stride;
+      float* c_tile = c + i * n_dim + j0;
+      float32x4_t acc0 = vld1q_f32(c_tile);
+      float32x4_t acc1 = vld1q_f32(c_tile + 4);
+      const float* b_tile = b + j0;
+      for (std::size_t k = 0; k < k_dim; ++k) {
+        const float a_ik = a_i[k * a_col_stride];
+        if (zero_skip && a_ik == 0.0f) continue;
+        const float32x4_t va = vdupq_n_f32(a_ik);
+        const float* b_row = b_tile + k * n_dim;
+        acc0 = vaddq_f32(acc0, vmulq_f32(va, vld1q_f32(b_row)));
+        acc1 = vaddq_f32(acc1, vmulq_f32(va, vld1q_f32(b_row + 4)));
+      }
+      vst1q_f32(c_tile, acc0);
+      vst1q_f32(c_tile + 4, acc1);
+    }
+  }
+  for (; j0 + 4 <= n_dim; j0 += 4) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      const float* a_i = a + i * a_row_stride;
+      float* c_tile = c + i * n_dim + j0;
+      float32x4_t acc = vld1q_f32(c_tile);
+      const float* b_tile = b + j0;
+      for (std::size_t k = 0; k < k_dim; ++k) {
+        const float a_ik = a_i[k * a_col_stride];
+        if (zero_skip && a_ik == 0.0f) continue;
+        const float32x4_t va = vdupq_n_f32(a_ik);
+        acc = vaddq_f32(acc, vmulq_f32(va, vld1q_f32(b_tile + k * n_dim)));
+      }
+      vst1q_f32(c_tile, acc);
+    }
+  }
+  if (j0 < n_dim) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      const float* a_i = a + i * a_row_stride;
+      float* c_row = c + i * n_dim;
+      for (std::size_t k = 0; k < k_dim; ++k) {
+        const float a_ik = a_i[k * a_col_stride];
+        if (zero_skip && a_ik == 0.0f) continue;
+        const float* b_row = b + k * n_dim;
+        for (std::size_t j = j0; j < n_dim; ++j) c_row[j] += a_ik * b_row[j];
+      }
+    }
+  }
+}
+
+void a_bt_rows_neon(const float* a, const float* b, const float* packed,
+                    float* c, std::size_t r0, std::size_t r1,
+                    std::size_t k_dim, std::size_t n_dim) {
+  const std::size_t tiles = n_dim / 4;
+  for (std::size_t i = r0; i < r1; ++i) {
+    const float* a_row = a + i * k_dim;
+    float* c_row = c + i * n_dim;
+    for (std::size_t t = 0; t < tiles; ++t) {
+      const float* tile = packed + t * k_dim * 4;
+      float64x2_t acc_lo = vdupq_n_f64(0.0);
+      float64x2_t acc_hi = vdupq_n_f64(0.0);
+      for (std::size_t kk = 0; kk < k_dim; ++kk) {
+        const float64x2_t va =
+            vdupq_n_f64(static_cast<double>(a_row[kk]));
+        const float32x4_t vb = vld1q_f32(tile + kk * 4);
+        acc_lo = vaddq_f64(acc_lo, vmulq_f64(va, vcvt_f64_f32(vget_low_f32(vb))));
+        acc_hi = vaddq_f64(acc_hi, vmulq_f64(va, vcvt_high_f64_f32(vb)));
+      }
+      // vcvt_f32_f64 rounds to nearest, same as the scalar double->float cast.
+      const float32x4_t accf =
+          vcombine_f32(vcvt_f32_f64(acc_lo), vcvt_f32_f64(acc_hi));
+      float* c_tile = c_row + t * 4;
+      vst1q_f32(c_tile, vaddq_f32(vld1q_f32(c_tile), accf));
+    }
+    for (std::size_t j = tiles * 4; j < n_dim; ++j) {
+      const float* b_row = b + j * k_dim;
+      double acc = 0.0;
+      for (std::size_t kk = 0; kk < k_dim; ++kk) {
+        acc += static_cast<double>(a_row[kk]) * b_row[kk];
+      }
+      c_row[j] += static_cast<float>(acc);
+    }
+  }
+}
+
+constexpr GemmKernels kNeonKernels{&broadcast_rows_neon, &a_bt_rows_neon,
+                                   /*wants_bt_panel=*/true};
+
+}  // namespace
+
+const GemmKernels& neon_kernels() { return kNeonKernels; }
+
+}  // namespace vcdl::ops::detail
+
+#endif  // VCDL_GEMM_NEON

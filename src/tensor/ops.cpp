@@ -5,6 +5,7 @@
 
 #include "common/thread_pool.hpp"
 #include "obs/span.hpp"
+#include "tensor/gemm_kernels.hpp"
 
 namespace vcdl::ops {
 namespace {
@@ -43,63 +44,24 @@ bool panel_all_finite(const float* p, std::size_t n) {
   return std::isfinite(acc);
 }
 
-// Row-block GEMM kernel: computes C rows [r0, r1). A is MxK, B is KxN, both
-// row-major. Each k-block of B is repacked into a transposed (N x kblen)
-// micro-panel so the inner loop is a unit-stride dot product and the panel is
-// reused across every row of the block — that reuse is what the cache
-// blocking buys. The per-element accumulation order over k is unchanged from
-// the naive kernel, so results stay bit-identical.
-//
-// `zero_skip` skips a_ik == 0 terms (ReLU activations are often sparse). It
-// must only be enabled when B is finite: skipping drops the whole k-term,
-// which would silently mask NaN/Inf coming from B (0 * NaN = NaN).
-void gemm_rows(const float* a, const float* b, float* c, std::size_t r0,
-               std::size_t r1, std::size_t k_dim, std::size_t n_dim,
-               bool zero_skip) {
-  constexpr std::size_t kBlockK = 64;
-  static thread_local std::vector<float> bt;  // packed B^T panel, per worker
-  bt.resize(kBlockK * n_dim);
-  for (std::size_t kb = 0; kb < k_dim; kb += kBlockK) {
-    const std::size_t kblen = std::min(k_dim - kb, kBlockK);
-    for (std::size_t kk = 0; kk < kblen; ++kk) {
-      const float* b_row = b + (kb + kk) * n_dim;
-      for (std::size_t j = 0; j < n_dim; ++j) bt[j * kblen + kk] = b_row[j];
-    }
-    for (std::size_t i = r0; i < r1; ++i) {
-      const float* a_row = a + i * k_dim + kb;
-      float* c_row = c + i * n_dim;
-      for (std::size_t j = 0; j < n_dim; ++j) {
-        const float* bt_col = bt.data() + j * kblen;
-        float acc = c_row[j];
-        if (zero_skip) {
-          for (std::size_t kk = 0; kk < kblen; ++kk) {
-            const float a_ik = a_row[kk];
-            if (a_ik == 0.0f) continue;
-            acc += a_ik * bt_col[kk];
-          }
-        } else {
-          for (std::size_t kk = 0; kk < kblen; ++kk) {
-            acc += a_row[kk] * bt_col[kk];
-          }
-        }
-        c_row[j] = acc;
-      }
-    }
-  }
-}
-
 void run_rowwise(std::size_t m, ThreadPool* pool,
                  const std::function<void(std::size_t, std::size_t)>& body) {
   // Parallelism only pays off for reasonably tall outputs.
   if (pool != nullptr && pool->size() > 1 && m >= 4 * pool->size()) {
-    // Per-chunk queue wait: dispatch-to-start latency, one sample per chunk
-    // (chunk boundaries are a pure function of range and pool size, so the
-    // sample count is deterministic for a given thread count).
     const double dispatched = obs::registry().now();
-    pool->parallel_for(0, m, [&](std::size_t r0, std::size_t r1) {
-      exec_metrics().pool_wait_s.observe(obs::registry().now() - dispatched);
-      body(r0, r1);
-    });
+    pool->parallel_for_indexed(
+        0, m, [&](std::size_t chunk, std::size_t r0, std::size_t r1) {
+          // One queue-latency sample per dispatch, not per chunk: chunk 0
+          // runs inline on the dispatching thread, so chunk 1 is the first
+          // chunk that actually waited in the queue. Per-chunk sampling put
+          // two clock reads on every chunk of every GEMM — the obs layer
+          // must stay off the hot path it exists to diagnose.
+          if (chunk == 1) {
+            exec_metrics().pool_wait_s.observe(obs::registry().now() -
+                                               dispatched);
+          }
+          body(r0, r1);
+        });
   } else {
     body(0, m);
   }
@@ -137,6 +99,16 @@ void mul(std::span<const float> a, std::span<const float> b, std::span<float> ou
   check_same_size(a, b, "mul");
   check_same_size(a, out, "mul");
   for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+}
+
+void add_bias(std::span<float> y, std::span<const float> bias,
+              std::size_t rows) {
+  VCDL_CHECK(bias.size() * rows == y.size(), "add_bias: size mismatch");
+  const std::size_t cols = bias.size();
+  for (std::size_t r = 0; r < rows; ++r) {
+    float* row = y.data() + r * cols;
+    for (std::size_t j = 0; j < cols; ++j) row[j] += bias[j];
+  }
 }
 
 void blend(float alpha, std::span<const float> y_prev, std::span<const float> x,
@@ -201,8 +173,15 @@ void matmul(MatView a, MatView b, Tensor& c, bool accumulate,
   if (!accumulate) c.fill(0.0f);
   obs::SpanTimer span(exec_metrics().gemm_s);
   const bool zero_skip = panel_all_finite(b.data, k * n);
-  run_rowwise(m, pool, [&](std::size_t r0, std::size_t r1) {
-    gemm_rows(a.data, b.data, c.data(), r0, r1, k, n, zero_skip);
+  // Broadcast-A kernel: row-major B already is the shared read-only panel
+  // every worker reads — no per-worker repacking inside the parallel loop.
+  const detail::GemmKernels& kn = detail::kernels_for(active_simd_tier());
+  const float* ap = a.data;
+  const float* bp = b.data;
+  float* cp = c.data();
+  run_rowwise(m, pool, [&, ap, bp, cp](std::size_t r0, std::size_t r1) {
+    kn.broadcast_rows(ap, /*a_row_stride=*/k, /*a_col_stride=*/1, bp, cp, r0,
+                      r1, k, n, zero_skip);
   });
 }
 
@@ -228,17 +207,14 @@ void matmul_at_b(MatView a, MatView b, Tensor& c, bool accumulate,
   const float* bp = b.data;
   float* cp = c.data();
   const bool zero_skip = panel_all_finite(bp, k * n);
-  run_rowwise(m, pool, [&](std::size_t r0, std::size_t r1) {
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float* a_row = ap + kk * m;
-      const float* b_row = bp + kk * n;
-      for (std::size_t i = r0; i < r1; ++i) {
-        const float a_ki = a_row[i];
-        if (zero_skip && a_ki == 0.0f) continue;
-        float* c_row = cp + i * n;
-        for (std::size_t j = 0; j < n; ++j) c_row[j] += a_ki * b_row[j];
-      }
-    }
+  // Same broadcast kernel as matmul with transposed A strides: A(i,k) =
+  // ap[k*m + i]. Per C element the k-terms still accumulate in ascending
+  // order, so hoisting i outside k (the old loop nested k outermost) is
+  // bit-identical.
+  const detail::GemmKernels& kn = detail::kernels_for(active_simd_tier());
+  run_rowwise(m, pool, [&, ap, bp, cp](std::size_t r0, std::size_t r1) {
+    kn.broadcast_rows(ap, /*a_row_stride=*/1, /*a_col_stride=*/m, bp, cp, r0,
+                      r1, k, n, zero_skip);
   });
 }
 
@@ -263,19 +239,19 @@ void matmul_a_bt(MatView a, MatView b, Tensor& c, bool accumulate,
   const float* ap = a.data;
   const float* bp = b.data;
   float* cp = c.data();
-  run_rowwise(m, pool, [&](std::size_t r0, std::size_t r1) {
-    for (std::size_t i = r0; i < r1; ++i) {
-      const float* a_row = ap + i * k;
-      float* c_row = cp + i * n;
-      for (std::size_t j = 0; j < n; ++j) {
-        const float* b_row = bp + j * k;
-        double acc = 0.0;
-        for (std::size_t kk = 0; kk < k; ++kk) {
-          acc += static_cast<double>(a_row[kk]) * b_row[kk];
-        }
-        c_row[j] += static_cast<float>(acc);
-      }
-    }
+  const detail::GemmKernels& kn = detail::kernels_for(active_simd_tier());
+  // Vector tiers read B^T through a width-4 packed panel. It is built ONCE
+  // here, on the dispatching thread, and shared read-only across the
+  // row-parallel workers — packing inside the loop would repeat the O(K·N)
+  // transpose per worker.
+  const float* packed = nullptr;
+  if (kn.wants_bt_panel && n >= 4) {
+    float* buf = detail::pack_scratch(detail::packed_bt_floats(n, k));
+    detail::pack_bt_tiles(bp, n, k, buf);
+    packed = buf;
+  }
+  run_rowwise(m, pool, [&, ap, bp, cp, packed](std::size_t r0, std::size_t r1) {
+    kn.a_bt_rows(ap, bp, packed, cp, r0, r1, k, n);
   });
 }
 

@@ -1,14 +1,18 @@
 // Tensor kernels: elementwise operations, reductions, and blocked GEMM.
 //
-// GEMM is the dominant cost of training; the implementation uses cache
-// blocking with a transposed-B micro-panel and can parallelize over row
-// blocks via the shared ThreadPool. Everything else is straightforward
+// GEMM is the dominant cost of training. The entry points here validate
+// shapes, decide zero-skip eligibility, hoist any operand packing out of the
+// parallel region, and split rows over the shared ThreadPool; the inner
+// loops live in the tiered micro-kernels of tensor/gemm_kernels.hpp
+// (portable scalar / AVX2 / NEON behind runtime dispatch, every tier
+// bit-identical to the scalar reference). Everything else is straightforward
 // span-based loops — on the problem sizes VCDL trains, they are memory-bound
 // anyway.
 #pragma once
 
 #include <span>
 
+#include "tensor/gemm_kernels.hpp"
 #include "tensor/tensor.hpp"
 
 namespace vcdl {
@@ -29,6 +33,10 @@ void add(std::span<const float> a, std::span<const float> b, std::span<float> ou
 void sub(std::span<const float> a, std::span<const float> b, std::span<float> out);
 /// out = a * b (Hadamard)
 void mul(std::span<const float> a, std::span<const float> b, std::span<float> out);
+/// y[r][j] += bias[j] for every row of the row-major [rows x bias.size()]
+/// matrix y — the layer bias add, fused over the batch.
+void add_bias(std::span<float> y, std::span<const float> bias,
+              std::size_t rows);
 /// y = alpha * x + (1 - alpha) * y   — the VC-ASGD Eq. (1) blend primitive.
 void blend(float alpha, std::span<const float> y_prev, std::span<const float> x,
            std::span<float> y);

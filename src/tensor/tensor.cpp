@@ -18,7 +18,10 @@ std::string Shape::to_string() const {
 }
 
 Tensor::Tensor(Shape shape, std::vector<float> data)
-    : shape_(std::move(shape)), data_(std::move(data)) {
+    : shape_(std::move(shape)), data_(data.begin(), data.end()) {
+  // The aligned backing store cannot adopt a default-allocated vector, so
+  // this convenience ctor copies. It only appears off the hot path (test
+  // data generators); hot-path code constructs by shape and writes in place.
   VCDL_CHECK(shape_.numel() == data_.size(),
              "Tensor: data size " + std::to_string(data_.size()) +
                  " does not match shape " + shape_.to_string());

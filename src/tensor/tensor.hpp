@@ -20,6 +20,40 @@ namespace vcdl {
 
 class Rng;
 
+/// Minimal STL allocator handing out cache-line-aligned (64-byte) storage.
+/// Tensor data lives behind it for two reasons: vector kernels can assume no
+/// tensor straddles a line it shares with another allocation, and — the one
+/// that is load-bearing for correctness of *scaling* — per-chunk gradient
+/// accumulators (Conv2D's partial dw/db tensors) can never false-share a
+/// cache line with an adjacent chunk's accumulator, however small they are.
+template <typename T>
+struct CacheAlignedAllocator {
+  using value_type = T;
+  static constexpr std::size_t alignment = 64;
+
+  CacheAlignedAllocator() = default;
+  template <typename U>
+  CacheAlignedAllocator(const CacheAlignedAllocator<U>&) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{alignment}));
+  }
+  void deallocate(T* p, std::size_t n) {
+    ::operator delete(static_cast<void*>(p), n * sizeof(T),
+                      std::align_val_t{alignment});
+  }
+
+  template <typename U>
+  friend bool operator==(const CacheAlignedAllocator&,
+                         const CacheAlignedAllocator<U>&) {
+    return true;
+  }
+};
+
+/// Tensor backing storage: a float vector with cache-line-aligned data().
+using AlignedFloatVec = std::vector<float, CacheAlignedAllocator<float>>;
+
 /// Tensor shape (up to rank 4 used in practice; arbitrary rank supported).
 class Shape {
  public:
@@ -103,7 +137,7 @@ class Tensor {
 
  private:
   Shape shape_;
-  std::vector<float> data_;
+  AlignedFloatVec data_;
 };
 
 }  // namespace vcdl

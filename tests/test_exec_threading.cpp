@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
@@ -20,6 +21,7 @@
 #include "nn/dense.hpp"
 #include "nn/loss.hpp"
 #include "nn/model_zoo.hpp"
+#include "obs/metrics.hpp"
 #include "tensor/exec_context.hpp"
 #include "tensor/ops.hpp"
 #include "testing/oracles.hpp"
@@ -259,6 +261,82 @@ TEST(ScratchArena, ExecContextWorkers) {
   ThreadPool pool(3);
   ctx.pool = &pool;
   EXPECT_EQ(ctx.workers(), 3u);
+}
+
+// --- False-sharing guard ----------------------------------------------------
+
+// Conv2D::backward reduces per-chunk dw/db partials that live in adjacent
+// arena slots. If two chunks' accumulators shared a cache line, every
+// parallel backward would ping-pong that line between cores — a silent
+// scaling killer that no correctness test catches. The Tensor backing store
+// is 64-byte aligned precisely to rule this out; pin it.
+TEST(ExecThreading, TensorStorageIsCacheLineAligned) {
+  for (const Shape& s : {Shape{1}, Shape{3}, Shape{4, 9}, Shape{2, 3, 5, 7}}) {
+    Tensor t(s);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(t.data()) % 64, 0u)
+        << s.to_string();
+  }
+  // The arena hands out the same guarantee — these are the actual per-chunk
+  // accumulator allocations.
+  ScratchArena arena;
+  for (std::size_t slot = 0; slot < 8; ++slot) {
+    Tensor& t = arena.get(slot, Shape{3});  // small: adjacent lines if packed
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(t.data()) % 64, 0u)
+        << "slot " << slot;
+  }
+}
+
+// --- Hot-path observability cost -------------------------------------------
+
+// Queue latency is sampled once per pooled dispatch (by the first queued
+// chunk), not once per chunk: per-chunk clock reads put the obs layer on the
+// hot path it exists to diagnose. The count must grow by exactly the number
+// of dispatches, independent of the pool width.
+TEST(ExecThreading, PoolWaitSampledOncePerDispatch) {
+  obs::Histogram& wait =
+      obs::registry().histogram("exec.pool_wait_s", {0.0, 0.01, 40});
+  ThreadPool pool(4);
+  Rng rng(51);
+  const Tensor a = Tensor::randn(Shape{32, 6}, rng);  // 32 >= 4*pool.size()
+  const Tensor b = Tensor::randn(Shape{6, 5}, rng);
+  Tensor c;
+  const std::uint64_t before = wait.count();
+  constexpr std::uint64_t kDispatches = 7;
+  for (std::uint64_t i = 0; i < kDispatches; ++i) {
+    ops::matmul(a, b, c, /*accumulate=*/false, &pool);
+  }
+  EXPECT_EQ(wait.count(), before + kDispatches);
+  // Serial calls (no pool) must not sample at all.
+  ops::matmul(a, b, c);
+  EXPECT_EQ(wait.count(), before + kDispatches);
+}
+
+// --- SIMD tier vs model-level determinism ----------------------------------
+
+// The contract behind the GoldenSerial pins above: whichever vector tier the
+// host dispatches to, a full train step is bitwise the scalar result — not
+// just per-GEMM, but through conv's im2col/col2im and the loss.
+TEST(ExecThreading, ForcedScalarTierBitIdenticalToActiveTierTrainStep) {
+  Model active = tiny_resnet(47);
+  Model scalar = active;
+  Rng rng(53);
+  const Tensor x = Tensor::randn(Shape{6, 3, 8, 8}, rng);
+  const std::vector<std::uint16_t> labels = {0, 1, 2, 3, 4, 5};
+
+  const Tensor ya = train_step(active, serial_exec_context(), x, labels);
+  ops::set_simd_tier_override(ops::SimdTier::scalar);
+  const Tensor ys = train_step(scalar, serial_exec_context(), x, labels);
+  ops::set_simd_tier_override(std::nullopt);
+
+  for (std::size_t i = 0; i < ya.numel(); ++i) EXPECT_EQ(ya[i], ys[i]);
+  const auto ga = active.grads();
+  const auto gs = scalar.grads();
+  ASSERT_EQ(ga.size(), gs.size());
+  for (std::size_t t = 0; t < ga.size(); ++t) {
+    for (std::size_t i = 0; i < ga[t]->numel(); ++i) {
+      EXPECT_EQ((*ga[t])[i], (*gs[t])[i]) << "grad tensor " << t;
+    }
+  }
 }
 
 }  // namespace

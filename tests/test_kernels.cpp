@@ -1,0 +1,303 @@
+// GEMM micro-kernel equivalence & dispatch suite.
+//
+// The SIMD tiers (tensor/gemm_kernels.hpp) promise BITWISE equality with the
+// portable scalar reference — that identity is what lets the serial-path
+// goldens and the TraceDigest replay oracle hold no matter which tier the
+// host dispatches to. This suite enforces the promise empirically:
+//   * seeded properties run every available tier against the scalar kernel
+//     on random shapes/values for all three matmul entry points and demand
+//     bit equality (failure messages report the max ULP distance so a
+//     near-miss — e.g. an FMA contraction sneaking back in — is obvious);
+//   * unit tests pin the dispatch ladder (override > env > best), the packed
+//     B^T tile layout, and the pack-scratch shrink hysteresis.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "tensor/ops.hpp"
+#include "testing/prop.hpp"
+
+namespace vcdl {
+namespace {
+
+using ops::SimdTier;
+using testing::prop_assert;
+using testing::PropConfig;
+using testing::PropResult;
+using testing::run_property;
+
+// RAII: force a tier for one scope, always restore normal selection.
+struct TierGuard {
+  explicit TierGuard(SimdTier t) { ops::set_simd_tier_override(t); }
+  ~TierGuard() { ops::set_simd_tier_override(std::nullopt); }
+};
+
+bool tier_available(SimdTier t) {
+  for (SimdTier a : ops::available_simd_tiers()) {
+    if (a == t) return true;
+  }
+  return false;
+}
+
+std::vector<SimdTier> vector_tiers() {
+  std::vector<SimdTier> out;
+  for (SimdTier t : ops::available_simd_tiers()) {
+    if (t != SimdTier::scalar) out.push_back(t);
+  }
+  return out;
+}
+
+// ULP distance between two finite floats (monotone int reinterpretation).
+std::int64_t ulp_distance(float a, float b) {
+  std::int32_t ia, ib;
+  std::memcpy(&ia, &a, 4);
+  std::memcpy(&ib, &b, 4);
+  if (ia < 0) ia = std::numeric_limits<std::int32_t>::min() - ia;
+  if (ib < 0) ib = std::numeric_limits<std::int32_t>::min() - ib;
+  return std::abs(static_cast<std::int64_t>(ia) - ib);
+}
+
+// Bitwise comparison with a diagnostic that names the worst element.
+void assert_bitwise_equal(const Tensor& ref, const Tensor& got,
+                          const std::string& what) {
+  prop_assert(ref.numel() == got.numel(), what + ": size mismatch");
+  std::int64_t worst = 0;
+  std::size_t worst_i = 0;
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < ref.numel(); ++i) {
+    if (std::memcmp(&ref.flat()[i], &got.flat()[i], 4) != 0) {
+      ++mismatches;
+      const std::int64_t d = ulp_distance(ref[i], got[i]);
+      if (d >= worst) {
+        worst = d;
+        worst_i = i;
+      }
+    }
+  }
+  prop_assert(mismatches == 0,
+              what + ": " + std::to_string(mismatches) +
+                  " elements differ from scalar; worst at [" +
+                  std::to_string(worst_i) + "] " +
+                  std::to_string(ref[worst_i]) + " vs " +
+                  std::to_string(got[worst_i]) + " (" + std::to_string(worst) +
+                  " ULP)");
+}
+
+// Random matrix with exact zeros sprinkled in so the zero-skip path is
+// exercised on every tier, not just the dense multiply.
+Tensor random_mat(Rng& rng, std::size_t r, std::size_t c) {
+  Tensor t(Shape{r, c});
+  for (auto& v : t.flat()) {
+    v = rng.uniform_index(8) == 0 ? 0.0f
+                                  : static_cast<float>(rng.normal(0.0, 1.0));
+  }
+  return t;
+}
+
+struct GemmCase {
+  std::size_t m, k, n;
+  Tensor a, b, c0;  // c0: accumulate seed
+  bool accumulate;
+};
+
+GemmCase random_case(Rng& rng, int size, bool a_is_kxm, bool b_is_nxk) {
+  GemmCase gc;
+  gc.m = 1 + rng.uniform_index(static_cast<std::uint64_t>(size) + 4);
+  gc.k = 1 + rng.uniform_index(static_cast<std::uint64_t>(size) + 4);
+  // Bias n across the vector widths (8/16-lane tiles + remainder columns).
+  gc.n = 1 + rng.uniform_index(2 * static_cast<std::uint64_t>(size) + 18);
+  gc.a = a_is_kxm ? random_mat(rng, gc.k, gc.m) : random_mat(rng, gc.m, gc.k);
+  gc.b = b_is_nxk ? random_mat(rng, gc.n, gc.k) : random_mat(rng, gc.k, gc.n);
+  gc.accumulate = rng.uniform_index(2) == 0;
+  gc.c0 = random_mat(rng, gc.m, gc.n);
+  return gc;
+}
+
+using GemmFn = void (*)(const Tensor&, const Tensor&, Tensor&, bool,
+                        ThreadPool*);
+
+// Runs `fn` under the scalar tier and under every available vector tier and
+// demands bitwise-equal C, with and without a pool (the pooled run also
+// proves the shared packed panel / row split changes nothing).
+void check_gemm_equivalence(const GemmCase& gc, GemmFn fn, const char* what,
+                            ThreadPool* pool) {
+  Tensor c_ref = gc.c0;
+  {
+    TierGuard g(SimdTier::scalar);
+    fn(gc.a, gc.b, c_ref, gc.accumulate, nullptr);
+  }
+  for (SimdTier t : vector_tiers()) {
+    Tensor c_vec = gc.c0;
+    TierGuard g(t);
+    fn(gc.a, gc.b, c_vec, gc.accumulate, nullptr);
+    assert_bitwise_equal(c_ref, c_vec,
+                         std::string(what) + "/" + ops::simd_tier_name(t));
+    Tensor c_pool = gc.c0;
+    fn(gc.a, gc.b, c_pool, gc.accumulate, pool);
+    assert_bitwise_equal(c_ref, c_pool, std::string(what) + "/" +
+                                            ops::simd_tier_name(t) +
+                                            "+pool");
+  }
+}
+
+// --- Scalar-vs-SIMD properties ---------------------------------------------
+
+TEST(KernelEquivalence, MatmulEveryTierBitIdenticalToScalar) {
+  ThreadPool pool(4);
+  PropConfig cfg;
+  cfg.name = "kernels.matmul_tier_equiv";
+  cfg.suite = "test_kernels";
+  cfg.max_size = 16;
+  const PropResult r = run_property(cfg, [&pool](Rng& rng, int size) {
+    const GemmCase gc = random_case(rng, size, false, false);
+    check_gemm_equivalence(gc, &ops::matmul, "matmul", &pool);
+  });
+  EXPECT_TRUE(r.passed) << r.message << "\nreplay: " << r.repro;
+}
+
+TEST(KernelEquivalence, MatmulAtBEveryTierBitIdenticalToScalar) {
+  ThreadPool pool(4);
+  PropConfig cfg;
+  cfg.name = "kernels.matmul_at_b_tier_equiv";
+  cfg.suite = "test_kernels";
+  cfg.max_size = 16;
+  const PropResult r = run_property(cfg, [&pool](Rng& rng, int size) {
+    const GemmCase gc = random_case(rng, size, /*a_is_kxm=*/true, false);
+    check_gemm_equivalence(gc, &ops::matmul_at_b, "matmul_at_b", &pool);
+  });
+  EXPECT_TRUE(r.passed) << r.message << "\nreplay: " << r.repro;
+}
+
+TEST(KernelEquivalence, MatmulABtEveryTierBitIdenticalToScalar) {
+  ThreadPool pool(4);
+  PropConfig cfg;
+  cfg.name = "kernels.matmul_a_bt_tier_equiv";
+  cfg.suite = "test_kernels";
+  cfg.max_size = 16;
+  const PropResult r = run_property(cfg, [&pool](Rng& rng, int size) {
+    const GemmCase gc = random_case(rng, size, false, /*b_is_nxk=*/true);
+    check_gemm_equivalence(gc, &ops::matmul_a_bt, "matmul_a_bt", &pool);
+  });
+  EXPECT_TRUE(r.passed) << r.message << "\nreplay: " << r.repro;
+}
+
+// A nonfinite B must disable zero-skip identically on every tier: a zero in
+// A may not mask a NaN in B. (NaN payload bits are not compared — only that
+// both tiers agree on where NaNs appear and on every finite element.)
+TEST(KernelEquivalence, NanInBPropagatesOnEveryTier) {
+  Rng rng(99);
+  Tensor a = random_mat(rng, 5, 7);
+  a.at(2, 3) = 0.0f;
+  Tensor b = random_mat(rng, 7, 9);
+  b.at(3, 4) = std::numeric_limits<float>::quiet_NaN();
+  Tensor c_ref;
+  {
+    TierGuard g(SimdTier::scalar);
+    ops::matmul(a, b, c_ref);
+  }
+  EXPECT_TRUE(std::isnan(c_ref.at(2, 4)));  // 0 * NaN must not be skipped
+  for (SimdTier t : vector_tiers()) {
+    TierGuard g(t);
+    Tensor c_vec;
+    ops::matmul(a, b, c_vec);
+    for (std::size_t i = 0; i < c_ref.numel(); ++i) {
+      if (std::isnan(c_ref[i])) {
+        EXPECT_TRUE(std::isnan(c_vec[i])) << "element " << i;
+      } else {
+        EXPECT_EQ(c_ref[i], c_vec[i]) << "element " << i;
+      }
+    }
+  }
+}
+
+// --- Dispatch ladder -------------------------------------------------------
+
+TEST(KernelDispatch, ScalarTierAlwaysAvailable) {
+  EXPECT_TRUE(tier_available(SimdTier::scalar));
+}
+
+TEST(KernelDispatch, ActiveTierIsAvailable) {
+  EXPECT_TRUE(tier_available(ops::active_simd_tier()));
+}
+
+TEST(KernelDispatch, OverrideForcesTierAndRestores) {
+  const SimdTier before = ops::active_simd_tier();
+  {
+    TierGuard g(SimdTier::scalar);
+    EXPECT_EQ(ops::active_simd_tier(), SimdTier::scalar);
+  }
+  EXPECT_EQ(ops::active_simd_tier(), before);
+}
+
+TEST(KernelDispatch, ForcingUnavailableTierIsIgnored) {
+  const SimdTier before = ops::active_simd_tier();
+  for (SimdTier t : {SimdTier::avx2, SimdTier::neon}) {
+    if (tier_available(t)) continue;
+    ops::set_simd_tier_override(t);
+    EXPECT_EQ(ops::active_simd_tier(), before) << ops::simd_tier_name(t);
+    ops::set_simd_tier_override(std::nullopt);
+  }
+}
+
+TEST(KernelDispatch, TierNamesAreStable) {
+  EXPECT_STREQ(ops::simd_tier_name(SimdTier::scalar), "scalar");
+  EXPECT_STREQ(ops::simd_tier_name(SimdTier::avx2), "avx2");
+  EXPECT_STREQ(ops::simd_tier_name(SimdTier::neon), "neon");
+}
+
+// --- Packed B^T panel ------------------------------------------------------
+
+TEST(KernelPacking, PackBtTilesLayout) {
+  // b is 6 x 3 (n=6 columns of B^T, k=3): two full width-4... no — one full
+  // tile of 4 plus remainder 2, which pack_bt_tiles must NOT write.
+  const std::size_t n = 6, k = 3;
+  Tensor b(Shape{n, k});
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      b.at(j, kk) = static_cast<float>(10 * j + kk);
+    }
+  }
+  const std::size_t floats = ops::detail::packed_bt_floats(n, k);
+  ASSERT_EQ(floats, 4 * k);  // only the single full tile
+  std::vector<float> packed(floats + 1, -777.0f);  // +1 canary past the end
+  ops::detail::pack_bt_tiles(b.data(), n, k, packed.data());
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_EQ(packed[kk * 4 + j], b.at(j, kk)) << "k=" << kk << " j=" << j;
+    }
+  }
+  EXPECT_EQ(packed[floats], -777.0f);  // remainder columns untouched
+}
+
+// --- Pack-scratch lifetime -------------------------------------------------
+
+TEST(KernelPacking, PackScratchShrinksAfterOversizedUse) {
+  // Grow to a big panel, then request a small one: the 4x hysteresis must
+  // release the large block instead of pinning the high-water mark forever.
+  ops::detail::pack_scratch(1 << 20);
+  EXPECT_GE(ops::detail::pack_scratch_capacity_for_testing(), std::size_t{1}
+                                                                  << 20);
+  ops::detail::pack_scratch(1000);
+  EXPECT_EQ(ops::detail::pack_scratch_capacity_for_testing(),
+            std::size_t{1000});
+}
+
+TEST(KernelPacking, PackScratchKeepsModestCapacityAcrossSmallCalls) {
+  // Below the floor the buffer is sticky — no realloc churn between layers
+  // of slightly different sizes.
+  ops::detail::pack_scratch(2000);
+  const float* first = ops::detail::pack_scratch(100);
+  EXPECT_EQ(ops::detail::pack_scratch_capacity_for_testing(),
+            std::size_t{2000});
+  EXPECT_EQ(first, ops::detail::pack_scratch(600));
+}
+
+}  // namespace
+}  // namespace vcdl
