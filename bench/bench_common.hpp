@@ -6,6 +6,7 @@
 
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
 
 #include "common/config.hpp"
@@ -72,6 +73,41 @@ inline void write_obs_json(const std::string& bench_name,
       << "  \"bench\": \"" << bench_name << "\",\n"
       << "  \"metrics\": " << metrics << "\n}\n";
   std::cout << "wrote " << path << "\n";
+}
+
+/// Merges one bench's shard-sweep results into BENCH_shard.json (or `path`)
+/// under `section`, preserving the sections other bench binaries already
+/// wrote — bench_fig2 and bench_fig3 both sweep param_shards ∈ {1,2,4,8} and
+/// contribute to the same artifact in either order. `rows_json` is a complete
+/// JSON array. The format contract that makes the merge possible without a
+/// JSON parser: every section lives on exactly one line of the file
+/// (`    "name": [...]`), so re-reading the sections back is a line scan.
+inline void write_shard_json(const std::string& section,
+                             const std::string& rows_json,
+                             const std::string& path = "BENCH_shard.json") {
+  std::map<std::string, std::string> sections;
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.rfind("    \"", 0) != 0) continue;
+      const auto key_end = line.find('"', 5);
+      if (key_end == std::string::npos || line.size() < key_end + 3) continue;
+      std::string value = line.substr(key_end + 3);
+      if (!value.empty() && value.back() == ',') value.pop_back();
+      sections[line.substr(5, key_end - 5)] = value;
+    }
+  }
+  sections[section] = rows_json;
+  std::ofstream out(path);
+  out << "{\n  \"schema_version\": 1,\n  \"sections\": {\n";
+  std::size_t i = 0;
+  for (const auto& [name, value] : sections) {
+    out << "    \"" << name << "\": " << value
+        << (++i == sections.size() ? "\n" : ",\n");
+  }
+  out << "  }\n}\n";
+  std::cout << "wrote " << path << " (section \"" << section << "\")\n";
 }
 
 inline void print_run_summary(const TrainResult& r) {

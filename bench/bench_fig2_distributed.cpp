@@ -6,6 +6,7 @@
 // in training time; P5C5T2 is the fastest of the four.
 #include <algorithm>
 #include <iostream>
+#include <sstream>
 
 #include "bench_common.hpp"
 
@@ -73,5 +74,44 @@ int main(int argc, char** argv) {
          Table::fmt(r.final_epoch().mean_subtask_acc, 3)});
   }
   codec_tbl.print(std::cout);
+
+  // Sharded parameter plane (core/shard_plan.hpp): the same P3C3T8 delta run
+  // with the parameter vector sliced over {1, 2, 4, 8} per-shard planes —
+  // shard files pulled in parallel, uploads as per-shard frame bundles.
+  // Results land in BENCH_shard.json alongside bench_fig3's sweep.
+  std::cout << "\nSharded parameter plane sweep (P3C3T8, delta codec):\n";
+  Table shard_tbl({"shards", "hours", "final acc", "param pull MB",
+                   "full-equiv MB", "delta pulls"});
+  std::ostringstream rows;
+  rows << "[";
+  for (const std::size_t shards : {1, 2, 4, 8}) {
+    ExperimentSpec spec = bench::base_spec(cfg);
+    spec.parameter_servers = 3;
+    spec.clients = 3;
+    spec.tasks_per_client = 8;
+    spec.alpha = "0.95";
+    spec.wire_codec = "delta";
+    spec.param_shards = shards;
+    const TrainResult r = run_experiment(spec);
+    const double mb = 1024.0 * 1024.0;
+    shard_tbl.add_row(
+        {Table::fmt(shards), Table::fmt(r.totals.duration_s / 3600.0, 2),
+         Table::fmt(r.final_epoch().mean_subtask_acc, 3),
+         Table::fmt(static_cast<double>(r.totals.param_bytes_wire) / mb, 2),
+         Table::fmt(static_cast<double>(r.totals.param_bytes_full) / mb, 2),
+         Table::fmt(r.totals.delta_pulls)});
+    if (shards != 1) rows << ", ";
+    rows << "{\"param_shards\": " << shards << ", \"label\": \""
+         << spec.label() << "\", \"wire_codec\": \"delta\", \"hours\": "
+         << Table::fmt(r.totals.duration_s / 3600.0, 4)
+         << ", \"final_mean_acc\": "
+         << Table::fmt(r.final_epoch().mean_subtask_acc, 4)
+         << ", \"param_bytes_wire\": " << r.totals.param_bytes_wire
+         << ", \"param_bytes_full\": " << r.totals.param_bytes_full
+         << ", \"delta_pulls\": " << r.totals.delta_pulls << "}";
+  }
+  rows << "]";
+  shard_tbl.print(std::cout);
+  bench::write_shard_json("fig2", rows.str());
   return 0;
 }

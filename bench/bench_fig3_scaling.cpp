@@ -9,6 +9,7 @@
 //   * P3C3T8 is markedly faster than P1C3T8 (more PS workers);
 //   * P5C5: time grows monotonically T2→T8 (server-side imbalance).
 #include <iostream>
+#include <sstream>
 
 #include "bench_common.hpp"
 
@@ -48,5 +49,38 @@ int main(int argc, char** argv) {
   }
   std::cout << "\n";
   table.print(std::cout);
+
+  // Sharded parameter plane (core/shard_plan.hpp): the paper's fastest cell
+  // (P5C5T2) at param_shards ∈ {1, 2, 4, 8} under the delta codec. Merged
+  // into BENCH_shard.json alongside bench_fig2's sweep.
+  std::cout << "\nSharded parameter plane sweep (P5C5T2, delta codec):\n";
+  Table shard_tbl({"shards", "hours", "40-epoch est.", "final acc"});
+  std::ostringstream rows;
+  rows << "[";
+  for (const std::size_t shards : {1, 2, 4, 8}) {
+    ExperimentSpec spec = bench::base_spec(cfg, /*default_epochs=*/6);
+    spec.parameter_servers = 5;
+    spec.clients = 5;
+    spec.tasks_per_client = 2;
+    spec.alpha = "0.95";
+    spec.wire_codec = "delta";
+    spec.param_shards = shards;
+    const TrainResult r = run_experiment(spec);
+    bench::print_run_summary(r);
+    const double h = r.totals.duration_s / 3600.0;
+    const double h40 = h / static_cast<double>(r.epochs.size()) * 40.0;
+    shard_tbl.add_row({Table::fmt(shards), Table::fmt(h, 2),
+                       Table::fmt(h40, 1),
+                       Table::fmt(r.final_epoch().mean_subtask_acc, 3)});
+    if (shards != 1) rows << ", ";
+    rows << "{\"param_shards\": " << shards << ", \"label\": \""
+         << spec.label() << "\", \"wire_codec\": \"delta\", \"hours\": "
+         << Table::fmt(h, 4) << ", \"hours_40epoch\": " << Table::fmt(h40, 4)
+         << ", \"final_mean_acc\": "
+         << Table::fmt(r.final_epoch().mean_subtask_acc, 4) << "}";
+  }
+  rows << "]";
+  shard_tbl.print(std::cout);
+  bench::write_shard_json("fig3", rows.str());
   return 0;
 }

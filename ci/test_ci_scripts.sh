@@ -59,7 +59,7 @@ check "failing test status propagates" \
 #    build, so the regex can never silently select nothing.
 for suite in test_thread_pool test_tensor test_nn_layers test_nn_model \
              test_exec_threading test_kernels test_obs test_wire_codec \
-             test_consensus; do
+             test_consensus test_shard_plane; do
   check "tsan target ${suite} registered" \
     bash -c "ctest --test-dir '${BUILD_DIR}' -N -R '^${suite}\$' \
                2>/dev/null | grep -q 'Total Tests: 1'"
@@ -72,6 +72,13 @@ check "sanitize.sh tsan regex includes test_consensus" \
   bash -c "grep -E '^TSAN_REGEX=' ci/sanitize.sh | grep -q test_consensus"
 check "soak.sh tsan regex includes test_consensus" \
   bash -c "grep -E '^export VCDL_TSAN_REGEX=' ci/soak.sh | grep -q test_consensus"
+# Same for the shard-plane suite: it holds the shards=1 monolithic-equivalence
+# oracle (mutation-checked), so losing it from either regex would drop the
+# sharded parameter plane from sanitizer coverage.
+check "sanitize.sh tsan regex includes test_shard_plane" \
+  bash -c "grep -E '^TSAN_REGEX=' ci/sanitize.sh | grep -q test_shard_plane"
+check "soak.sh tsan regex includes test_shard_plane" \
+  bash -c "grep -E '^export VCDL_TSAN_REGEX=' ci/soak.sh | grep -q test_shard_plane"
 
 if [[ "${failures}" -ne 0 ]]; then
   echo "ci self-test: ${failures} check(s) failed"

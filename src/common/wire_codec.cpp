@@ -13,6 +13,7 @@ namespace {
 
 constexpr std::uint32_t kBlobDeltaMagic = 0x31444356;  // "VCD1" little-endian
 constexpr std::uint32_t kFrameMagic = 0x31574356;      // "VCW1" little-endian
+constexpr std::uint32_t kBundleMagic = 0x31424356;     // "VCB1" little-endian
 constexpr std::uint8_t kModeDelta = 1;
 constexpr std::uint8_t kModeQ8 = 2;
 constexpr std::size_t kQ8Block = 1024;  // floats per quantization block
@@ -331,6 +332,68 @@ WireFrame read_frame_header(const Blob& payload) {
   h.base_hash = p->base_hash;
   h.count = p->count;
   return h;
+}
+
+namespace {
+
+// Bundle layout mirrors the frame wrapper: [u64 FNV of inner][varint len]
+// [inner], inner = [u32 magic][varint count][varint len + bytes per part].
+// The container hash catches header corruption; part bodies additionally
+// carry their own frame checksums.
+std::optional<std::vector<Blob>> parse_bundle(const Blob& payload,
+                                              bool check_hash) {
+  try {
+    BinaryReader outer(payload);
+    const std::uint64_t expected_hash = outer.read<std::uint64_t>();
+    Blob inner(outer.read_bytes());
+    if (!outer.done()) return std::nullopt;
+    if (check_hash && inner.hash() != expected_hash) return std::nullopt;
+    BinaryReader r(inner);
+    if (r.read<std::uint32_t>() != kBundleMagic) return std::nullopt;
+    const std::uint64_t count = r.read_varint();
+    if (count < 2) return std::nullopt;
+    std::vector<Blob> parts;
+    parts.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      parts.emplace_back(r.read_bytes());
+    }
+    if (!r.done()) return std::nullopt;
+    return parts;
+  } catch (const CorruptData&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+Blob pack_shard_frames(const std::vector<Blob>& parts) {
+  VCDL_CHECK(parts.size() >= 2, "pack_shard_frames: need >= 2 shards");
+  BinaryWriter w;
+  w.write(kBundleMagic);
+  w.write_varint(parts.size());
+  for (const Blob& part : parts) w.write_bytes(part.view());
+  return wrap_frame(w.take());
+}
+
+bool is_shard_bundle(const Blob& payload) {
+  return parse_bundle(payload, /*check_hash=*/false).has_value();
+}
+
+std::vector<Blob> unpack_shard_frames(const Blob& payload) {
+  auto parts = parse_bundle(payload, /*check_hash=*/true);
+  if (!parts.has_value()) {
+    throw CorruptData("unpack_shard_frames: not a valid shard bundle");
+  }
+  return std::move(*parts);
+}
+
+bool validate_shard_bundle(const Blob& payload) {
+  const auto parts = parse_bundle(payload, /*check_hash=*/true);
+  if (!parts.has_value()) return false;
+  for (const Blob& part : *parts) {
+    if (!validate_frame(part)) return false;
+  }
+  return true;
 }
 
 std::vector<float> decode_params(const Blob& payload,

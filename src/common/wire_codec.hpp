@@ -117,4 +117,23 @@ WireFrame read_frame_header(const Blob& payload);
 std::vector<float> decode_params(const Blob& payload,
                                  std::span<const float> base);
 
+// --- Shard bundles (sharded parameter plane, core/shard_plan.hpp) -----------
+
+/// Packs one wire frame per parameter shard into a single upload container.
+/// Only used at param_shards > 1 — a one-shard delta upload stays a bare
+/// frame, bit-identical to the monolithic plane. Requires >= 2 parts.
+Blob pack_shard_frames(const std::vector<Blob>& parts);
+
+/// True when `payload` parses as a shard bundle (structure only). Bundles,
+/// wire frames and full parameter blobs are mutually exclusive formats.
+bool is_shard_bundle(const Blob& payload);
+
+/// The bundle's per-shard frames, in shard order; throws CorruptData on a
+/// malformed container or container-checksum mismatch.
+std::vector<Blob> unpack_shard_frames(const Blob& payload);
+
+/// Corruption screen for bundled uploads: container checksum plus
+/// validate_frame on every part — usable without any decode base.
+bool validate_shard_bundle(const Blob& payload);
+
 }  // namespace vcdl

@@ -35,6 +35,13 @@ struct ExperimentSpec {
 
   // Job shape.
   std::size_t num_shards = 50;        // subtasks per epoch (paper: 50)
+  /// Sharded parameter plane (core/shard_plan.hpp): the flat parameter
+  /// vector is sliced into this many balanced shards, each with its own
+  /// store key, parameter file, version ring and wire-codec base ring —
+  /// clients fetch the shard files in parallel and delta/q8 uploads carry
+  /// one frame per shard. 1 (default) = the monolithic plane, TraceDigest-
+  /// and metrics-identical to pre-shard builds.
+  std::size_t param_shards = 1;
   std::size_t max_epochs = 12;
   double target_accuracy = 1.01;      // stop early when mean val acc reaches it
   ShardPolicy shard_policy = ShardPolicy::iid;

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "core/eval.hpp"
+#include "core/test_hooks.hpp"
 #include "core/vcasgd.hpp"
 #include "grid/consensus.hpp"
 #include "nn/model_io.hpp"
@@ -57,21 +58,36 @@ VcAsgdAssimilator::VcAsgdAssimilator(
 }
 
 void VcAsgdAssimilator::publish_initial(const std::vector<float>& params) {
+  // Resolve the shard plan on first publish (checkpoint replay re-enters
+  // with the same-sized vector and keeps the plan).
+  if (plan_.empty() || plan_.total() != params.size()) {
+    plan_ = options_.plan.empty() || options_.plan.total() != params.size()
+                ? ShardPlan::single(params.size())
+                : options_.plan;
+    base_rings_.assign(plan_.shards(), {});
+    shard_stats_.assign(plan_.shards(), {});
+  }
   published_ = params;
-  Blob blob = save_params(std::span<const float>(params));
-  store_.put(options_.params_key, blob, 0);
-  files_.publish(options_.params_key, std::move(blob), /*compress=*/true,
-                 /*delta_capable=*/options_.wire_mode != WireMode::full);
+  for (std::size_t s = 0; s < plan_.shards(); ++s) {
+    Blob blob = save_params(plan_.view(std::span<const float>(params), s));
+    store_.put(shard_key(s), blob, 0);
+    files_.publish(shard_key(s), std::move(blob), /*compress=*/true,
+                   /*delta_capable=*/options_.wire_mode != WireMode::full);
+  }
   if (options_.wire_mode != WireMode::full) {
     // Checkpoint replay re-enters here with rewound params while commits_
-    // stays put; clear the ring so no stale pre-crash base survives under
+    // stays put; clear the rings so no stale pre-crash base survives under
     // its old version number. Future commits will *reuse* those version
     // numbers with different params — which is why ring hits also compare
     // the frame's base_hash: a pre-crash upload whose base_version matches
     // a post-replay entry hash-misses and takes the ring-miss path instead
     // of silently decoding against the wrong base.
-    base_ring_.clear();
-    base_ring_[commits_] = {params_hash(published_), published_};
+    for (std::size_t s = 0; s < plan_.shards(); ++s) {
+      const auto slice = plan_.view(std::span<const float>(published_), s);
+      base_rings_[s].clear();
+      base_rings_[s][commits_] = {params_hash(slice),
+                                  {slice.begin(), slice.end()}};
+    }
   }
 }
 
@@ -85,61 +101,91 @@ SimTime VcAsgdAssimilator::validation_time() const {
   return options_.validate_work / (server_instance_.clock_ghz * eff);
 }
 
-void VcAsgdAssimilator::commit(const std::vector<float>& params,
-                               std::uint64_t read_version) {
-  Blob blob = save_params(std::span<const float>(params));
-  const std::uint64_t new_version =
-      store_.put(options_.params_key, blob, read_version);
-  files_.publish(options_.params_key, std::move(blob), /*compress=*/true,
-                 /*delta_capable=*/options_.wire_mode != WireMode::full);
+std::vector<float> VcAsgdAssimilator::read_shards(
+    std::vector<std::uint64_t>& read_versions) {
+  std::vector<float> server_params(plan_.total());
+  read_versions.assign(plan_.shards(), 0);
+  for (std::size_t s = 0; s < plan_.shards(); ++s) {
+    const auto current = store_.get(shard_key(s));
+    VCDL_CHECK(current.has_value(), "assimilate: params missing from store");
+    const std::vector<float> slice = load_params(current->value);
+    const auto dst = plan_.view(std::span<float>(server_params), s);
+    VCDL_CHECK(slice.size() == dst.size(),
+               "assimilate: shard store blob size mismatch");
+    std::copy(slice.begin(), slice.end(), dst.begin());
+    read_versions[s] = current->version;
+  }
+  return server_params;
+}
+
+void VcAsgdAssimilator::commit(
+    const std::vector<float>& params,
+    const std::vector<std::uint64_t>& read_versions) {
+  for (std::size_t s = 0; s < plan_.shards(); ++s) {
+    Blob blob = save_params(plan_.view(std::span<const float>(params), s));
+    const std::uint64_t new_version =
+        store_.put(shard_key(s), blob, read_versions[s]);
+    files_.publish(shard_key(s), std::move(blob), /*compress=*/true,
+                   /*delta_capable=*/options_.wire_mode != WireMode::full);
+    if (read_versions[s] > 0) {
+      // Versions that landed between our read and this write — 0 on a
+      // strong store (the transaction serializes), positive on an eventual
+      // store when another worker's blend slipped in (its update is what we
+      // clobbered). Shards commit in lockstep, so every shard reports the
+      // same staleness and the gauge holds one value.
+      metrics().staleness.set(
+          static_cast<double>(new_version - read_versions[s] - 1));
+    }
+  }
   published_ = params;
   ++commits_;
   remember_base();
   metrics().updates.inc();
-  if (read_version > 0) {
-    // Versions that landed between our read and this write — 0 on a strong
-    // store (the transaction serializes), positive on an eventual store when
-    // another worker's blend slipped in (its update is what we clobbered).
-    metrics().staleness.set(
-        static_cast<double>(new_version - read_version - 1));
-  }
 }
 
 void VcAsgdAssimilator::remember_base() {
   if (options_.wire_mode == WireMode::full) return;
-  base_ring_[commits_] = {params_hash(published_), published_};
-  if (base_ring_.size() <= options_.version_ring) return;
   std::set<std::uint64_t> pinned;
   for (const auto& [unit, bases] : exec_base_) {
     pinned.insert(bases.begin(), bases.end());
   }
-  for (auto it = base_ring_.begin();
-       base_ring_.size() > options_.version_ring &&
-       it != base_ring_.end() && it->first < commits_;) {
-    if (pinned.count(it->first) > 0) {
-      ++it;
-    } else {
-      it = base_ring_.erase(it);
+  for (std::size_t s = 0; s < plan_.shards(); ++s) {
+    auto& ring = base_rings_[s];
+    const auto slice = plan_.view(std::span<const float>(published_), s);
+    ring[commits_] = {params_hash(slice), {slice.begin(), slice.end()}};
+    for (auto it = ring.begin();
+         ring.size() > options_.version_ring && it != ring.end() &&
+         it->first < commits_;) {
+      if (pinned.count(it->first) > 0) {
+        ++it;
+      } else {
+        it = ring.erase(it);
+      }
     }
   }
 }
 
 std::optional<std::vector<float>> VcAsgdAssimilator::decode_payload(
     const Blob& payload) {
+  if (is_shard_bundle(payload)) return decode_bundle(payload);
   if (!is_wire_frame(payload)) return load_params(payload);
   const WireFrame frame = read_frame_header(payload);
-  const auto it = base_ring_.find(frame.base_version);
-  if (it != base_ring_.end() && it->second.hash == frame.base_hash) {
+  const auto& ring = base_rings_[0];
+  const auto it = ring.find(frame.base_version);
+  if (it != ring.end() && it->second.hash == frame.base_hash) {
     metrics().frames_decoded.inc();
+    ++shard_stats_[0].frames_decoded;
     return decode_params(payload, it->second.params);
   }
   metrics().base_misses.inc();
+  ++shard_stats_[0].base_misses;
   if (frame.mode == WireMode::delta) {
     // Lossless deltas are zigzag diffs of the floats' *bit patterns*;
     // decoded against anything but their exact encode base they become
     // arbitrary floats (NaN/Inf included), so a ring miss drops the upload
     // rather than poisoning the blend.
     metrics().frames_dropped.inc();
+    ++shard_stats_[0].frames_dropped;
     return std::nullopt;
   }
   // q8 diffs live in float space, so against the current published copy the
@@ -147,12 +193,74 @@ std::optional<std::vector<float>> VcAsgdAssimilator::decode_payload(
   return decode_params(payload, published_);
 }
 
+std::optional<std::vector<float>> VcAsgdAssimilator::decode_bundle(
+    const Blob& payload) {
+  const std::vector<Blob> parts = unpack_shard_frames(payload);
+  if (parts.size() != plan_.shards()) {
+    // A bundle from a different plan (or a sabotaged client) cannot be
+    // routed; drop it like a ring-missed delta.
+    metrics().frames_dropped.inc();
+    return std::nullopt;
+  }
+  std::vector<float> out(plan_.total());
+  for (std::size_t s = 0; s < parts.size(); ++s) {
+    const WireFrame frame = read_frame_header(parts[s]);
+    const auto dst = plan_.view(std::span<float>(out), s);
+    const auto& ring = base_rings_[s];
+    const auto it = ring.find(frame.base_version);
+    std::vector<float> slice;
+    if (it != ring.end() && it->second.hash == frame.base_hash) {
+      metrics().frames_decoded.inc();
+      ++shard_stats_[s].frames_decoded;
+      slice = decode_params(parts[s], it->second.params);
+    } else {
+      metrics().base_misses.inc();
+      ++shard_stats_[s].base_misses;
+      if (frame.mode == WireMode::delta) {
+        // One undecodable bit-space part poisons the concatenated vector;
+        // the whole upload is dropped, mirroring the monolithic ring miss.
+        metrics().frames_dropped.inc();
+        ++shard_stats_[s].frames_dropped;
+        return std::nullopt;
+      }
+      slice = decode_params(
+          parts[s], plan_.view(std::span<const float>(published_), s));
+    }
+    VCDL_CHECK(slice.size() == dst.size(),
+               "decode_bundle: shard slice size mismatch");
+    std::copy(slice.begin(), slice.end(), dst.begin());
+  }
+  return out;
+}
+
 std::optional<std::vector<float>> VcAsgdAssimilator::peek_decode(
     const Blob& payload) const {
+  if (is_shard_bundle(payload)) {
+    // Consensus equivalence for sharded uploads: every part must ring-hit
+    // (no speculative fallback), else the replica stays incomparable.
+    const std::vector<Blob> parts = unpack_shard_frames(payload);
+    if (parts.size() != plan_.shards()) return std::nullopt;
+    std::vector<float> out(plan_.total());
+    for (std::size_t s = 0; s < parts.size(); ++s) {
+      const WireFrame frame = read_frame_header(parts[s]);
+      const auto& ring = base_rings_[s];
+      const auto it = ring.find(frame.base_version);
+      if (it == ring.end() || it->second.hash != frame.base_hash) {
+        return std::nullopt;
+      }
+      const std::vector<float> slice =
+          decode_params(parts[s], it->second.params);
+      const auto dst = plan_.view(std::span<float>(out), s);
+      if (slice.size() != dst.size()) return std::nullopt;
+      std::copy(slice.begin(), slice.end(), dst.begin());
+    }
+    return out;
+  }
   if (!is_wire_frame(payload)) return load_params(payload);
   const WireFrame frame = read_frame_header(payload);
-  const auto it = base_ring_.find(frame.base_version);
-  if (it != base_ring_.end() && it->second.hash == frame.base_hash) {
+  const auto& ring = base_rings_[0];
+  const auto it = ring.find(frame.base_version);
+  if (it != ring.end() && it->second.hash == frame.base_hash) {
     return decode_params(payload, it->second.params);
   }
   // No speculative fallback decode here (unlike decode_payload): an
@@ -261,16 +369,24 @@ void VcAsgdAssimilator::try_assimilate(
               txn_lock_.release();
               return;
             }
-            const auto current = store_.get(options_.params_key);
-            VCDL_CHECK(current.has_value(),
-                       "assimilate: params missing from store");
-            std::vector<float> server_params = load_params(current->value);
+            std::vector<std::uint64_t> read_versions;
+            std::vector<float> server_params = read_shards(read_versions);
             const std::optional<std::vector<float>> client_params =
                 guarded_decode(*shared_env, server_params);
             if (client_params.has_value()) {
-              vcasgd_update(server_params, *client_params, alpha);
+              // Eq. (1) routed per shard slice — elementwise, so the
+              // concatenation of the shard blends is bit-identical to one
+              // full-span blend (the cross-shard property in
+              // tests/test_shard_plane.cpp).
+              for (std::size_t s = 0; s < plan_.shards(); ++s) {
+                if (shard_hooks::misroute_blend && s == 0) continue;
+                vcasgd_update(
+                    plan_.view(std::span<float>(server_params), s),
+                    plan_.view(std::span<const float>(*client_params), s),
+                    alpha);
+              }
               observe_gradient_age(shared_env->unit.id);
-              commit(server_params, current->version);
+              commit(server_params, read_versions);
             } else {
               // Ring-missed lossless delta: the upload is dropped, but the
               // unit is already retired at the scheduler, so the pipeline
@@ -308,10 +424,9 @@ void VcAsgdAssimilator::try_assimilate(
       store_.latency().read_s * latency_factor,
       [this, shared_env, done, alpha, gen, latency_factor] {
         if (server_.generation() != gen) return;
-        const auto current = store_.get(options_.params_key);
-        VCDL_CHECK(current.has_value(), "assimilate: params missing from store");
+        auto read_versions = std::make_shared<std::vector<std::uint64_t>>();
         auto server_params =
-            std::make_shared<std::vector<float>>(load_params(current->value));
+            std::make_shared<std::vector<float>>(read_shards(*read_versions));
         const std::optional<std::vector<float>> client_params =
             guarded_decode(*shared_env, *server_params);
         // A dropped upload (ring-missed lossless delta or a blend-guard
@@ -319,16 +434,23 @@ void VcAsgdAssimilator::try_assimilate(
         // validation + reporting: the unit is already retired at the
         // scheduler.
         const bool applied = client_params.has_value();
-        if (applied) vcasgd_update(*server_params, *client_params, alpha);
-        const std::uint64_t read_version = current->version;
+        if (applied) {
+          // Eq. (1) per shard slice (see the strong path above).
+          for (std::size_t s = 0; s < plan_.shards(); ++s) {
+            if (shard_hooks::misroute_blend && s == 0) continue;
+            vcasgd_update(
+                plan_.view(std::span<float>(*server_params), s),
+                plan_.view(std::span<const float>(*client_params), s), alpha);
+          }
+        }
         engine_.schedule(
             store_.latency().write_s * latency_factor,
-            [this, shared_env, done, server_params, read_version, applied,
+            [this, shared_env, done, server_params, read_versions, applied,
              gen] {
               if (server_.generation() != gen) return;
               if (applied) {
                 observe_gradient_age(shared_env->unit.id);
-                commit(*server_params, read_version);
+                commit(*server_params, *read_versions);
               } else {
                 release_exec_base(shared_env->unit.id);
               }

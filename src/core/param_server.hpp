@@ -23,6 +23,7 @@
 #include "common/rng.hpp"
 #include "common/wire_codec.hpp"
 #include "core/alpha_schedule.hpp"
+#include "core/shard_plan.hpp"
 #include "data/dataset.hpp"
 #include "grid/file_server.hpp"
 #include "grid/server.hpp"
@@ -54,6 +55,21 @@ class VcAsgdAssimilator : public AssimilatorBackend {
     /// of blended — the last line of defense against byzantine results that
     /// survive (or bypass) replica consensus. 0 disables the guard.
     double blend_outlier_threshold = 0.0;
+    /// Sharded parameter plane (core/shard_plan.hpp): each shard gets its
+    /// own store key ("<params_key>/<i>"), parameter file, version ring and
+    /// wire-codec base ring; the VC-ASGD blend and the commit run per shard
+    /// slice. An empty plan (default) means one monolithic shard — store
+    /// keys, traces and metrics identical to the pre-shard plane.
+    ShardPlan plan;
+  };
+
+  /// Per-shard upload wire-codec accounting. Across all shards these sum to
+  /// the global wire_codec.* registry counters — the set-equality invariant
+  /// tests/test_shard_plane.cpp holds at every shard count.
+  struct ShardWireStats {
+    std::uint64_t frames_decoded = 0;
+    std::uint64_t base_misses = 0;
+    std::uint64_t frames_dropped = 0;
   };
 
   /// `on_assimilated(epoch, subtask_val_acc)` fires once per assimilated
@@ -87,7 +103,17 @@ class VcAsgdAssimilator : public AssimilatorBackend {
   void set_exec_pool(ThreadPool* pool) { exec_.pool = pool; }
 
   /// Commits applied so far — the logical clock gradient age is measured in.
+  /// All shards commit in lockstep, so one counter covers the whole plane.
   std::uint64_t commits() const { return commits_; }
+
+  /// The resolved slicing (Options::plan, or the one-slice plan inferred at
+  /// publish_initial for a monolithic configuration).
+  const ShardPlan& plan() const { return plan_; }
+
+  /// Per-shard upload decode counters, indexed by shard.
+  const std::vector<ShardWireStats>& shard_wire_stats() const {
+    return shard_stats_;
+  }
 
   /// Side-effect-free payload decode for replica-consensus equivalence
   /// (ConsensusDecoder): full blobs through load_params, wire frames against
@@ -110,7 +136,19 @@ class VcAsgdAssimilator : public AssimilatorBackend {
  private:
   /// Virtual seconds one validation takes given current worker contention.
   SimTime validation_time() const;
-  void commit(const std::vector<float>& params, std::uint64_t read_version);
+  /// Store key / file name for shard `s` ("params" on a one-shard plan).
+  std::string shard_key(std::size_t s) const {
+    return plan_.shard_key(options_.params_key, s);
+  }
+  /// Synchronously reads every shard's store value into one full vector.
+  /// The per-shard KvStore calls happen inside a single virtual-time read
+  /// event (latency is modeled by the caller's schedule delay), so a
+  /// one-shard plan performs exactly the monolithic read.
+  std::vector<float> read_shards(std::vector<std::uint64_t>& read_versions);
+  /// Writes every shard slice back (one put + file publish per shard) and
+  /// advances the lockstep commit counter once.
+  void commit(const std::vector<float>& params,
+              const std::vector<std::uint64_t>& read_versions);
   /// Observes gradient age for `unit` (if its exec base was recorded) just
   /// before its blend commits, then releases the unit's base-ring pins.
   void observe_gradient_age(WorkunitId unit);
@@ -134,6 +172,11 @@ class VcAsgdAssimilator : public AssimilatorBackend {
   ///    dropped (nullopt, counted in wire_codec.frames_dropped) and the
   ///    caller skips the blend.
   std::optional<std::vector<float>> decode_payload(const Blob& payload);
+  /// Decodes a sharded upload (one frame per shard, wire_codec shard
+  /// bundle): each part resolves against its own shard's base ring. A
+  /// ring-missed lossless delta drops the whole upload; a ring-missed q8
+  /// part degrades to the published slice, like the monolithic path.
+  std::optional<std::vector<float>> decode_bundle(const Blob& payload);
   /// decode_payload plus the blend outlier guard: a decoded copy that
   /// deviates from `server_params` beyond blend_outlier_threshold comes back
   /// as nullopt (traced, counted) and the caller takes the dropped-upload
@@ -170,12 +213,16 @@ class VcAsgdAssimilator : public AssimilatorBackend {
   std::map<WorkunitId, std::vector<std::uint64_t>> exec_base_;
   struct BaseEntry {
     std::uint64_t hash = 0;  // params_hash — must match a frame's base_hash
-    std::vector<float> params;
+    std::vector<float> params;  // this shard's slice at that commit
   };
-  // commit count → published params at that commit: decode bases for
-  // delta-encoded uploads. Maintained only under a non-`full` wire mode;
-  // versions pinned by exec_base_ survive past the ring capacity.
-  std::map<std::uint64_t, BaseEntry> base_ring_;
+  // Per shard: commit count → published slice at that commit, the decode
+  // bases for delta-encoded uploads. Maintained only under a non-`full`
+  // wire mode; versions pinned by exec_base_ survive past the ring
+  // capacity. One ring on a one-shard plan — the monolithic base ring.
+  std::vector<std::map<std::uint64_t, BaseEntry>> base_rings_;
+  // Resolved at publish_initial (Options::plan, or single(total)).
+  ShardPlan plan_;
+  std::vector<ShardWireStats> shard_stats_;
 };
 
 }  // namespace vcdl

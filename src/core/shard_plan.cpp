@@ -1,0 +1,101 @@
+#include "core/shard_plan.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "core/test_hooks.hpp"
+
+namespace vcdl {
+
+ShardPlan ShardPlan::single(std::size_t total) {
+  ShardPlan plan;
+  plan.total_ = total;
+  plan.slices_.push_back({0, total});
+  return plan;
+}
+
+ShardPlan ShardPlan::build(const std::vector<std::size_t>& layer_sizes,
+                           std::size_t shards) {
+  VCDL_CHECK(shards >= 1, "ShardPlan: need >= 1 shard");
+  const std::size_t total =
+      std::accumulate(layer_sizes.begin(), layer_sizes.end(), std::size_t{0});
+  if (shards == 1) return single(total);
+
+  // Interior layer boundaries (cumulative offsets). Zero-parameter layers
+  // repeat an offset; duplicates are harmless to the nearest-boundary search
+  // but dropped anyway to keep it tight.
+  std::vector<std::size_t> bounds;
+  std::size_t off = 0;
+  for (const std::size_t s : layer_sizes) {
+    off += s;
+    if (off > 0 && off < total && (bounds.empty() || bounds.back() != off)) {
+      bounds.push_back(off);
+    }
+  }
+
+  ShardPlan plan;
+  plan.total_ = total;
+  std::size_t prev = 0;
+  for (std::size_t i = 1; i < shards; ++i) {
+    const std::size_t target = (i * total) / shards;
+    // Feasible window for this cut: strictly after the previous cut and
+    // leaving at least one parameter for each remaining shard (when the
+    // model is big enough for every shard to be non-empty at all).
+    const std::size_t lo = total >= shards ? prev + 1 : prev;
+    const std::size_t hi = total >= shards ? total - (shards - i) : total;
+    std::size_t cut = std::clamp(target, lo, hi);
+    // Snap to the nearest layer boundary when one sits within a quarter of
+    // the ideal chunk — close enough that the plan stays balanced.
+    const std::size_t tol = std::max<std::size_t>(1, total / (4 * shards));
+    std::size_t best = 0;
+    std::size_t best_dist = tol + 1;
+    const auto at = std::lower_bound(bounds.begin(), bounds.end(), target);
+    const auto before = at == bounds.begin() ? at : at - 1;
+    for (const auto it : {at, before}) {
+      if (it == bounds.end()) continue;
+      const std::size_t b = *it;
+      if (b < lo || b > hi) continue;
+      const std::size_t dist = b > target ? b - target : target - b;
+      if (dist < best_dist) {
+        best = b;
+        best_dist = dist;
+      }
+    }
+    if (best_dist <= tol) cut = best;
+    plan.slices_.push_back({prev, cut});
+    prev = cut;
+  }
+  plan.slices_.push_back({prev, total});
+
+  if (shard_hooks::skew_plan) {
+    // Sabotage (mutation checks): pile everything into shard 0 so the
+    // balance property must fail.
+    for (std::size_t i = 0; i < plan.slices_.size(); ++i) {
+      plan.slices_[i] = i == 0 ? Slice{0, total} : Slice{total, total};
+    }
+  }
+  return plan;
+}
+
+std::span<const float> ShardPlan::view(std::span<const float> full,
+                                       std::size_t shard) const {
+  VCDL_CHECK(full.size() == total_, "ShardPlan::view: vector/plan mismatch");
+  const Slice& s = slices_[shard];
+  return full.subspan(s.begin, s.size());
+}
+
+std::span<float> ShardPlan::view(std::span<float> full,
+                                 std::size_t shard) const {
+  VCDL_CHECK(full.size() == total_, "ShardPlan::view: vector/plan mismatch");
+  const Slice& s = slices_[shard];
+  return full.subspan(s.begin, s.size());
+}
+
+std::string ShardPlan::shard_key(const std::string& base,
+                                 std::size_t shard) const {
+  if (slices_.size() <= 1) return base;
+  return base + "/" + std::to_string(shard);
+}
+
+}  // namespace vcdl

@@ -1,0 +1,23 @@
+// Test-only sabotage hooks for the core layer's sharded parameter plane.
+//
+// Mirrors nn/test_hooks.hpp and grid/test_hooks.hpp: each flag deliberately
+// breaks one guarantee so the property suite can prove its invariant checks
+// have teeth (a mutation smoke test flips the flag and the invariant MUST
+// fail). All flags default to off and cost one predictable branch;
+// production code never sets them.
+#pragma once
+
+namespace vcdl::shard_hooks {
+
+/// When true, ShardPlan::build piles every parameter into shard 0 and leaves
+/// the rest empty. The "plan stays balanced" property must catch this.
+inline bool skew_plan = false;
+
+/// When true, the assimilator misroutes shard 0's VC-ASGD blend: the server
+/// keeps its own slice instead of α-blending the client's (as if the shard's
+/// update were routed to the wrong instance and dropped). The shards=1
+/// pinned-golden oracle and the cross-shard blend property must both catch
+/// this — published parameters, TraceDigest and metrics all shift.
+inline bool misroute_blend = false;
+
+}  // namespace vcdl::shard_hooks

@@ -10,6 +10,7 @@
 #include "common/thread_pool.hpp"
 #include "core/eval.hpp"
 #include "core/param_server.hpp"
+#include "core/shard_plan.hpp"
 #include "core/work_generator.hpp"
 #include "grid/client.hpp"
 #include "nn/loss.hpp"
@@ -31,6 +32,7 @@ VcTrainer::VcTrainer(ExperimentSpec spec) : spec_(std::move(spec)) {
   VCDL_CHECK(spec_.clients >= 1, "VcTrainer: Cn >= 1");
   VCDL_CHECK(spec_.tasks_per_client >= 1, "VcTrainer: Tn >= 1");
   VCDL_CHECK(spec_.max_epochs >= 1, "VcTrainer: max_epochs >= 1");
+  VCDL_CHECK(spec_.param_shards >= 1, "VcTrainer: param_shards >= 1");
 }
 
 TrainResult VcTrainer::run() {
@@ -67,6 +69,17 @@ TrainResult VcTrainer::run() {
     return make_resnet_lite(spec_.model, mix64(spec_.seed, 0x30DE1));
   }();
   const std::vector<float> initial_params = template_model.flat_params();
+
+  // --- Sharded parameter plane ------------------------------------------------
+  // Deterministic layer-boundary-aware slicing (core/shard_plan.hpp). A
+  // one-shard plan reproduces the monolithic plane exactly.
+  std::vector<std::size_t> layer_sizes(template_model.layer_count());
+  for (std::size_t i = 0; i < template_model.layer_count(); ++i) {
+    for (const Tensor* t : template_model.layer(i).params()) {
+      layer_sizes[i] += t->numel();
+    }
+  }
+  const ShardPlan shard_plan = ShardPlan::build(layer_sizes, spec_.param_shards);
 
   // --- Worker pool (intra-model parallelism) ---------------------------------
   // One pool shared by every client's training callback and by evaluation:
@@ -126,8 +139,10 @@ TrainResult VcTrainer::run() {
   const ResultValidator validator = [](const Blob& payload) {
     try {
       // Wire frames carry their own body checksum, so corruption is caught
-      // here without the decode base; full blobs go through load_params.
+      // here without the decode base; sharded uploads validate per part,
+      // and full blobs go through load_params.
       if (is_wire_frame(payload)) return validate_frame(payload);
+      if (is_shard_bundle(payload)) return validate_shard_bundle(payload);
       load_params(payload);
       return true;
     } catch (const Error&) {
@@ -141,6 +156,7 @@ TrainResult VcTrainer::run() {
   wg_opts.num_shards = spec_.num_shards;
   wg_opts.subtask_timeout_s = spec_.subtask_timeout_s;
   wg_opts.replication = spec_.replication;
+  wg_opts.param_shards = spec_.param_shards;
   WorkGenerator work_gen(scheduler, files, trace_, engine, wg_opts);
 
   std::vector<Blob> shard_blobs;
@@ -167,6 +183,7 @@ TrainResult VcTrainer::run() {
   ps_opts.wire_mode = wire_mode;
   ps_opts.version_ring = spec_.wire_version_ring;
   ps_opts.blend_outlier_threshold = spec_.blend_outlier_threshold;
+  ps_opts.plan = shard_plan;
   const auto schedule = make_alpha_schedule(spec_.alpha);
 
   std::vector<std::unique_ptr<SimClient>> clients;
@@ -233,9 +250,22 @@ TrainResult VcTrainer::run() {
   // subtasks redraw the same shuffles the lost subtasks drew — without this
   // the resume-equivalence oracle (tests/test_equivalence.cpp) cannot hold.
   std::uint64_t subtask_counter = 0;
-  Checkpointer checkpointer(*store, "params", [&](const Blob& blob) {
-    assimilator.publish_initial(load_params(blob));
-  });
+  std::vector<std::string> checkpoint_keys;
+  for (std::size_t s = 0; s < shard_plan.shards(); ++s) {
+    checkpoint_keys.push_back(shard_plan.shard_key("params", s));
+  }
+  Checkpointer checkpointer(
+      *store, std::move(checkpoint_keys), [&](const std::vector<Blob>& blobs) {
+        // Reassemble the full vector from the per-shard snapshot blobs;
+        // publish_initial re-slices and republishes every shard.
+        std::vector<float> params;
+        params.reserve(shard_plan.total());
+        for (const Blob& blob : blobs) {
+          const std::vector<float> slice = load_params(blob);
+          params.insert(params.end(), slice.begin(), slice.end());
+        }
+        assimilator.publish_initial(params);
+      });
   checkpointer.set_state_hooks(
       [&] {
         BinaryWriter w;
@@ -298,18 +328,47 @@ TrainResult VcTrainer::run() {
       }
     }
     Blob payload;
-    switch (wire_mode) {
-      case WireMode::full:
-        payload = save_params(worker_model);
-        break;
-      case WireMode::delta:
-        payload = encode_params_delta(upload_base, worker_model.flat_params(),
-                                      upload_base_version);
-        break;
-      case WireMode::delta_q8:
-        payload = encode_params_q8(upload_base, worker_model.flat_params(),
-                                   upload_base_version);
-        break;
+    if (wire_mode != WireMode::full && shard_plan.shards() > 1) {
+      // Sharded delta/q8 upload: one frame per shard, each encoded against
+      // that shard's slice of the training base, packed into a bundle. The
+      // frames are independent, so the client's exec pool encodes them in
+      // parallel (results land by shard index — deterministic).
+      const std::vector<float> flat = worker_model.flat_params();
+      std::vector<Blob> parts(shard_plan.shards());
+      const auto encode_shard = [&](std::size_t s) {
+        const auto base =
+            shard_plan.view(std::span<const float>(upload_base), s);
+        const auto target = shard_plan.view(std::span<const float>(flat), s);
+        parts[s] = wire_mode == WireMode::delta
+                       ? encode_params_delta(base, target, upload_base_version)
+                       : encode_params_q8(base, target, upload_base_version);
+      };
+      if (exec.pool != nullptr) {
+        exec.pool->parallel_for(0, parts.size(),
+                                [&](std::size_t begin, std::size_t end) {
+                                  for (std::size_t s = begin; s < end; ++s) {
+                                    encode_shard(s);
+                                  }
+                                });
+      } else {
+        for (std::size_t s = 0; s < parts.size(); ++s) encode_shard(s);
+      }
+      payload = pack_shard_frames(parts);
+    } else {
+      switch (wire_mode) {
+        case WireMode::full:
+          payload = save_params(worker_model);
+          break;
+        case WireMode::delta:
+          payload = encode_params_delta(upload_base,
+                                        worker_model.flat_params(),
+                                        upload_base_version);
+          break;
+        case WireMode::delta_q8:
+          payload = encode_params_q8(upload_base, worker_model.flat_params(),
+                                     upload_base_version);
+          break;
+      }
     }
     return ExecOutcome{std::move(payload), spec_.work_per_subtask};
   };

@@ -23,11 +23,18 @@ void WorkGenerator::publish_static(Blob arch, std::vector<Blob> shard_blobs) {
   }
 }
 
+std::string WorkGenerator::param_file(std::size_t shard) const {
+  if (options_.param_shards <= 1) return options_.params_file;
+  return options_.params_file + "/" + std::to_string(shard);
+}
+
 void WorkGenerator::generate_epoch(std::size_t epoch) {
   VCDL_CHECK(epoch == epochs_generated_ + 1,
              "WorkGenerator: epochs must be generated in order");
-  VCDL_CHECK(files_.has(options_.params_file),
-             "WorkGenerator: parameter file not published yet");
+  for (std::size_t p = 0; p < options_.param_shards; ++p) {
+    VCDL_CHECK(files_.has(param_file(p)),
+               "WorkGenerator: parameter file not published yet");
+  }
   for (std::size_t s = 0; s < options_.num_shards; ++s) {
     Workunit wu;
     wu.id = next_id_++;
@@ -36,10 +43,15 @@ void WorkGenerator::generate_epoch(std::size_t epoch) {
     wu.deadline_s = options_.subtask_timeout_s;
     wu.replication = options_.replication;
     // The architecture file and the data shard are sticky (cacheable); the
-    // parameter copy changes with every assimilation and is always fetched.
-    wu.inputs = {FileRef{options_.arch_file, /*sticky=*/true},
-                 FileRef{options_.params_file, /*sticky=*/false},
-                 FileRef{shard_file(s), /*sticky=*/true}};
+    // parameter copies change with every assimilation and are always
+    // fetched — at param_shards > 1, one ref per shard file in a single
+    // parallel fetch group (the client overlaps the transfers).
+    wu.inputs = {FileRef{options_.arch_file, /*sticky=*/true}};
+    for (std::size_t p = 0; p < options_.param_shards; ++p) {
+      wu.inputs.push_back(FileRef{param_file(p), /*sticky=*/false,
+                                  options_.param_shards > 1 ? 1u : 0u});
+    }
+    wu.inputs.push_back(FileRef{shard_file(s), /*sticky=*/true});
     scheduler_.add_unit(wu);
     trace_.record(engine_.now(), TraceKind::work_generated, "work-generator",
                   wu.label());

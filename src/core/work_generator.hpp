@@ -24,6 +24,11 @@ class WorkGenerator {
     std::string arch_file = "arch";
     std::string params_file = "params";
     std::string shard_prefix = "shard/";
+    /// Parameter-plane shard count (core/shard_plan.hpp): at > 1 each
+    /// workunit references every per-shard parameter file
+    /// ("<params_file>/<i>") in one parallel fetch group. 1 = the single
+    /// monolithic parameter ref.
+    std::size_t param_shards = 1;
   };
 
   WorkGenerator(Scheduler& scheduler, FileServer& files, TraceLog& trace,
@@ -39,6 +44,9 @@ class WorkGenerator {
   std::string shard_file(std::size_t shard) const {
     return options_.shard_prefix + std::to_string(shard);
   }
+  /// Parameter file for one plane shard ("params" at param_shards = 1,
+  /// "params/<i>" otherwise — matching ShardPlan::shard_key).
+  std::string param_file(std::size_t shard) const;
   std::size_t epochs_generated() const { return epochs_generated_; }
 
  private:

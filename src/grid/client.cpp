@@ -1,6 +1,8 @@
 #include "grid/client.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -106,6 +108,9 @@ bool SimClient::needs_transfer(const Workunit& unit) const {
 
 SimTime SimClient::download_time(const Workunit& unit) {
   SimTime total = 0.0;
+  // Parallel fetch groups (sharded parameter plane): members overlap on the
+  // wire, so a group contributes its slowest transfer rather than the sum.
+  std::map<std::size_t, SimTime> group_slowest;
   for (const auto& ref : unit.inputs) {
     const std::uint64_t current = files_.version(ref.name);
     if (ref.sticky) {
@@ -119,10 +124,19 @@ SimTime SimClient::download_time(const Workunit& unit) {
     // The pull protocol bills a version delta when the server still holds
     // the version this client last downloaded (wire codec, file_server.hpp);
     // under the default full-blob codec it bills exactly wire_size().
+    // seen_versions_ is keyed per file name, so each parameter shard's
+    // delta base is tracked independently.
     const auto receipt = files_.pull(ref.name, seen_versions_[ref.name]);
     const std::size_t bytes = receipt.wire_bytes;
     seen_versions_[ref.name] = receipt.version;
-    total += network_.transfer_time(bytes, instance_, server_instance_, rng_);
+    const SimTime t =
+        network_.transfer_time(bytes, instance_, server_instance_, rng_);
+    if (ref.fetch_group == 0) {
+      total += t;
+    } else {
+      auto& slowest = group_slowest[ref.fetch_group];
+      slowest = std::max(slowest, t);
+    }
     ++stats_.downloads;
     stats_.bytes_downloaded += bytes;
     metrics().bytes_downloaded.inc(bytes);
@@ -131,6 +145,7 @@ SimTime SimClient::download_time(const Workunit& unit) {
       scheduler_.note_cached(id_, ref.name);
     }
   }
+  for (const auto& [group, slowest] : group_slowest) total += slowest;
   return total;
 }
 

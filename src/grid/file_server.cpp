@@ -121,10 +121,12 @@ FileServer::PullReceipt FileServer::pull(const std::string& name,
     }
     if (receipt.was_delta) {
       ++stats_.delta_pulls;
+      ++e.wire_stats.delta_pulls;
       metrics().delta_pulls.inc();
     } else {
       // Base aged out of the ring, or the delta did not beat the full blob.
       ++stats_.delta_fallbacks;
+      ++e.wire_stats.delta_fallbacks;
       metrics().delta_fallbacks.inc();
     }
   }
@@ -138,8 +140,15 @@ FileServer::PullReceipt FileServer::pull(const std::string& name,
   if (e.delta_capable) {
     stats_.bytes_delta_wire += receipt.wire_bytes;
     stats_.bytes_delta_full += e.wire_size;
+    e.wire_stats.bytes_delta_wire += receipt.wire_bytes;
+    e.wire_stats.bytes_delta_full += e.wire_size;
   }
   return receipt;
+}
+
+const FileServer::FileWireStats& FileServer::file_wire_stats(
+    const std::string& name) const {
+  return entry(name).wire_stats;
 }
 
 }  // namespace vcdl

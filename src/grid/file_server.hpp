@@ -82,6 +82,19 @@ class FileServer {
   /// Called by clients when a sticky-file cache hit avoids a transfer.
   void record_cache_hit();
 
+  /// Per-file slice of the delta-protocol counters (zeroes for files never
+  /// pulled under the delta protocol). Summed over every file these equal
+  /// the global Stats fields — the per-shard wire-accounting invariant the
+  /// sharded parameter plane is tested against (tests/test_shard_plane.cpp).
+  struct FileWireStats {
+    std::uint64_t delta_pulls = 0;
+    std::uint64_t delta_fallbacks = 0;
+    std::uint64_t bytes_delta_wire = 0;
+    std::uint64_t bytes_delta_full = 0;
+  };
+  /// Throws NotFound for an unpublished name.
+  const FileWireStats& file_wire_stats(const std::string& name) const;
+
   const Stats& stats() const { return stats_; }
 
  private:
@@ -96,6 +109,7 @@ class FileServer {
     // from-version -> encoded delta size against the *current* version;
     // cleared on publish, filled lazily on first pull per base version.
     std::map<std::uint64_t, std::size_t> delta_sizes;
+    FileWireStats wire_stats;
   };
 
   const Entry& entry(const std::string& name) const;

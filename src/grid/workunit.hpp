@@ -24,6 +24,11 @@ struct FileRef {
   /// sticky-file feature, §III-B); the scheduler prefers assigning units to
   /// clients that already hold their sticky inputs.
   bool sticky = false;
+  /// Refs sharing a nonzero group download concurrently (the sharded
+  /// parameter plane fetches all shard files in parallel): every ref still
+  /// bills its bytes, but the group's elapsed time is the slowest member
+  /// instead of the sum. 0 (default) = sequential, the monolithic behavior.
+  std::size_t fetch_group = 0;
 };
 
 struct Workunit {

@@ -5,8 +5,21 @@
 namespace vcdl {
 
 Checkpointer::Checkpointer(KvStore& store, std::string key, Republish republish)
-    : store_(store), key_(std::move(key)), republish_(std::move(republish)) {
-  VCDL_CHECK(!key_.empty(), "Checkpointer: empty key");
+    : store_(store), keys_{std::move(key)} {
+  VCDL_CHECK(!keys_.front().empty(), "Checkpointer: empty key");
+  VCDL_CHECK(republish != nullptr, "Checkpointer: null republish hook");
+  republish_ = [single = std::move(republish)](const std::vector<Blob>& blobs) {
+    single(blobs.front());
+  };
+}
+
+Checkpointer::Checkpointer(KvStore& store, std::vector<std::string> keys,
+                           RepublishAll republish)
+    : store_(store), keys_(std::move(keys)), republish_(std::move(republish)) {
+  VCDL_CHECK(!keys_.empty(), "Checkpointer: need >= 1 key");
+  for (const auto& key : keys_) {
+    VCDL_CHECK(!key.empty(), "Checkpointer: empty key");
+  }
   VCDL_CHECK(republish_ != nullptr, "Checkpointer: null republish hook");
 }
 
@@ -18,9 +31,14 @@ void Checkpointer::set_state_hooks(CaptureState capture, RestoreState restore) {
 }
 
 bool Checkpointer::snapshot() {
-  const auto current = store_.get(key_);
-  if (!current.has_value()) return false;
-  snap_ = current->value;
+  std::vector<Blob> blobs;
+  blobs.reserve(keys_.size());
+  for (const auto& key : keys_) {
+    const auto current = store_.get(key);
+    if (!current.has_value()) return false;
+    blobs.push_back(current->value);
+  }
+  snap_ = std::move(blobs);
   if (capture_state_) state_snap_ = capture_state_();
   ++stats_.snapshots;
   return true;

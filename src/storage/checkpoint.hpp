@@ -14,6 +14,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/blob.hpp"
 #include "storage/kvstore.hpp"
@@ -31,6 +32,10 @@ class Checkpointer {
   /// (typically VcAsgdAssimilator::publish_initial: store put + file-server
   /// publish + published-copy reset).
   using Republish = std::function<void(const Blob&)>;
+  /// Multi-key variant for the sharded parameter plane: one blob per shard
+  /// key, in key order — a snapshot is only taken when every key is present
+  /// (shards commit in lockstep, so a partial set never exists).
+  using RepublishAll = std::function<void(const std::vector<Blob>&)>;
 
   /// Optional side-channel for non-parameter state (RNG stream cursors,
   /// counters, …). `capture` serializes it at snapshot() time; `restore`
@@ -42,10 +47,12 @@ class Checkpointer {
   using RestoreState = std::function<void(const Blob&)>;
 
   Checkpointer(KvStore& store, std::string key, Republish republish);
+  Checkpointer(KvStore& store, std::vector<std::string> keys,
+               RepublishAll republish);
 
   void set_state_hooks(CaptureState capture, RestoreState restore);
 
-  /// Copies the current store value under `key`; false when the key is
+  /// Copies the current store value under every key; false when any key is
   /// missing (nothing published yet).
   bool snapshot();
 
@@ -58,11 +65,11 @@ class Checkpointer {
 
  private:
   KvStore& store_;
-  std::string key_;
-  Republish republish_;
+  std::vector<std::string> keys_;
+  RepublishAll republish_;
   CaptureState capture_state_;
   RestoreState restore_state_;
-  std::optional<Blob> snap_;
+  std::optional<std::vector<Blob>> snap_;
   std::optional<Blob> state_snap_;
   Stats stats_;
 };

@@ -152,6 +152,11 @@ ExperimentSpec gen_experiment_spec(Rng& rng, int size, bool chaos) {
   // (docs/SIMULATION.md §4b), so the replay properties draw across all three.
   static const char* kWireCodecs[] = {"full", "delta", "delta_q8"};
   spec.wire_codec = kWireCodecs[rng.uniform_index(3)];
+  // Sharded parameter plane: the replay, checkpoint-restore and chaos
+  // digest-identity properties must hold at every shard count, so the
+  // generator draws across the whole supported range.
+  static const std::size_t kParamShards[] = {1, 2, 4, 8};
+  spec.param_shards = kParamShards[rng.uniform_index(4)];
   // Substitute workload kept miniature so a full run is sub-second.
   spec.data.height = 8;
   spec.data.width = 8;

@@ -1,0 +1,507 @@
+// Sharded parameter plane (core/shard_plan.hpp) — the shards=1 equivalence
+// oracle and the shard-routing invariants.
+//
+// The backbone is a pinned-golden oracle (the test_exec_threading idiom):
+// the digest/metrics/params constants below were captured from the
+// pre-shard monolithic build, so a param_shards=1 run through the refactored
+// plane must reproduce them bit for bit — TraceDigest, metrics-snapshot
+// fingerprint and published parameters alike. Mutation checks flip the
+// core/test_hooks.hpp sabotage flags and require the oracles to fail, which
+// proves they have teeth. The rest of the suite covers the slicing edge
+// cases, the cross-shard blend property (concatenated per-shard Eq. (1)
+// blends equal the monolithic blend bitwise), per-shard wire-stat
+// set-equality against the global counters, and sharded-run determinism.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <numeric>
+
+#include "common/wire_codec.hpp"
+#include "core/param_server.hpp"
+#include "core/shard_plan.hpp"
+#include "core/test_hooks.hpp"
+#include "core/trainer.hpp"
+#include "core/vcasgd.hpp"
+#include "data/synthetic.hpp"
+#include "nn/model_io.hpp"
+#include "nn/model_zoo.hpp"
+#include "obs/metrics.hpp"
+#include "storage/eventual_store.hpp"
+#include "testing/oracles.hpp"
+#include "testing/prop.hpp"
+
+namespace vcdl {
+namespace {
+
+using testing::PropConfig;
+using testing::PropResult;
+using testing::prop_assert;
+using testing::run_property;
+
+// RAII sabotage-flag guard so a failing EXPECT can never leak a set flag
+// into later tests.
+struct HookGuard {
+  bool& flag;
+  explicit HookGuard(bool& f) : flag(f) { flag = true; }
+  ~HookGuard() { flag = false; }
+};
+
+// --- ShardPlan slicing ------------------------------------------------------
+
+// Structural invariant: slices partition [0, total) contiguously in order.
+void expect_partition(const ShardPlan& plan) {
+  std::size_t prev_end = 0;
+  for (std::size_t s = 0; s < plan.shards(); ++s) {
+    EXPECT_EQ(plan.slice(s).begin, prev_end);
+    EXPECT_LE(plan.slice(s).begin, plan.slice(s).end);
+    prev_end = plan.slice(s).end;
+  }
+  EXPECT_EQ(prev_end, plan.total());
+}
+
+// Balance predicate: every cut sits within the snap tolerance of its ideal
+// position, so no slice exceeds ideal + 2·tol (+2 rounding margin), and no
+// shard is empty when the model is big enough for all of them.
+bool is_balanced(const ShardPlan& plan) {
+  const std::size_t shards = plan.shards();
+  const std::size_t total = plan.total();
+  const std::size_t ideal = total / shards;
+  const std::size_t tol = std::max<std::size_t>(1, total / (4 * shards));
+  for (std::size_t s = 0; s < shards; ++s) {
+    if (total >= shards && plan.slice(s).size() == 0) return false;
+    if (plan.slice(s).size() > ideal + 2 * tol + 2) return false;
+  }
+  return true;
+}
+
+TEST(ShardPlan, IndivisibleParamCountStaysBalanced) {
+  const ShardPlan plan = ShardPlan::build({251, 251, 251, 250}, 4);
+  EXPECT_EQ(plan.total(), 1003u);
+  EXPECT_EQ(plan.shards(), 4u);
+  expect_partition(plan);
+  EXPECT_TRUE(is_balanced(plan));
+}
+
+TEST(ShardPlan, CutsSnapToLayerBoundaries) {
+  // Layer boundaries sit a hair off the ideal cuts; the plan must prefer
+  // them so shards hold whole layers.
+  const ShardPlan plan = ShardPlan::build({100, 95, 110, 95}, 4);
+  expect_partition(plan);
+  EXPECT_TRUE(is_balanced(plan));
+  EXPECT_EQ(plan.slice(0).end, 100u);
+  EXPECT_EQ(plan.slice(1).end, 195u);
+  EXPECT_EQ(plan.slice(2).end, 305u);
+}
+
+TEST(ShardPlan, GiantLayerSplitsIntraLayer) {
+  // One layer outweighs every other shard combined: no boundary is anywhere
+  // near the ideal cuts, so the plan must cut inside the giant layer and
+  // stay balanced anyway.
+  const ShardPlan plan = ShardPlan::build({8, 9000, 8, 8, 8}, 4);
+  EXPECT_EQ(plan.total(), 9032u);
+  expect_partition(plan);
+  EXPECT_TRUE(is_balanced(plan));
+}
+
+TEST(ShardPlan, ZeroParameterLayersAreHarmless) {
+  const ShardPlan plan = ShardPlan::build({0, 0, 50, 0, 50, 0, 0}, 2);
+  EXPECT_EQ(plan.total(), 100u);
+  expect_partition(plan);
+  EXPECT_TRUE(is_balanced(plan));
+  EXPECT_EQ(plan.slice(0).end, 50u);  // boundary between the two real layers
+}
+
+TEST(ShardPlan, MoreShardsThanLayers) {
+  const ShardPlan plan = ShardPlan::build({30}, 8);
+  expect_partition(plan);
+  EXPECT_TRUE(is_balanced(plan));
+}
+
+TEST(ShardPlan, MoreShardsThanParameters) {
+  // Degenerate: tail shards go empty, the partition still covers the vector.
+  const ShardPlan plan = ShardPlan::build({5}, 8);
+  expect_partition(plan);
+  std::size_t covered = 0;
+  for (std::size_t s = 0; s < plan.shards(); ++s) {
+    covered += plan.slice(s).size();
+  }
+  EXPECT_EQ(covered, 5u);
+}
+
+TEST(ShardPlan, DeterministicAcrossBuilds) {
+  const std::vector<std::size_t> sizes = {8, 9000, 8, 0, 120, 64};
+  const ShardPlan a = ShardPlan::build(sizes, 4);
+  const ShardPlan b = ShardPlan::build(sizes, 4);
+  ASSERT_EQ(a.shards(), b.shards());
+  for (std::size_t s = 0; s < a.shards(); ++s) {
+    EXPECT_EQ(a.slice(s).begin, b.slice(s).begin);
+    EXPECT_EQ(a.slice(s).end, b.slice(s).end);
+  }
+}
+
+TEST(ShardPlan, ShardKeysPreserveMonolithicName) {
+  EXPECT_EQ(ShardPlan::single(10).shard_key("params", 0), "params");
+  const ShardPlan plan = ShardPlan::build({100, 100}, 2);
+  EXPECT_EQ(plan.shard_key("params", 0), "params/0");
+  EXPECT_EQ(plan.shard_key("params", 1), "params/1");
+}
+
+TEST(ShardPlan, MutationSkewedPlanFailsBalance) {
+  // Teeth check: the skew_plan sabotage hook must be caught by the balance
+  // predicate the suite leans on.
+  HookGuard guard(shard_hooks::skew_plan);
+  const ShardPlan plan = ShardPlan::build({100, 100, 100, 100}, 4);
+  expect_partition(plan);
+  EXPECT_FALSE(is_balanced(plan));
+}
+
+// --- Cross-shard blend property ---------------------------------------------
+
+TEST(ShardPlane, CrossShardBlendMatchesMonolithicBlend) {
+  PropConfig cfg;
+  cfg.name = "shard.blend_concat";
+  cfg.suite = "test_shard_plane";
+  cfg.trials = 30;
+  const PropResult r = run_property(cfg, [](Rng& rng, int size) {
+    // Random layered model shape, random shard count, random parameters.
+    const std::size_t layers = 1 + rng.uniform_index(6);
+    std::vector<std::size_t> sizes(layers);
+    for (auto& s : sizes) {
+      s = rng.uniform_index(static_cast<std::uint64_t>(size) * 40 + 5);
+    }
+    static const std::size_t kCounts[] = {1, 2, 4, 8};
+    const std::size_t shards = kCounts[rng.uniform_index(4)];
+    const ShardPlan plan = ShardPlan::build(sizes, shards);
+    const std::size_t total = plan.total();
+
+    // The plan partitions the vector contiguously whatever the inputs.
+    std::size_t prev_end = 0;
+    for (std::size_t s = 0; s < plan.shards(); ++s) {
+      prop_assert(plan.slice(s).begin == prev_end, "non-contiguous slices");
+      prev_end = plan.slice(s).end;
+    }
+    prop_assert(prev_end == total, "slices do not cover the vector");
+
+    std::vector<float> server(total), client(total);
+    for (auto& v : server) v = static_cast<float>(rng.normal(0.0, 1.0));
+    for (auto& v : client) v = static_cast<float>(rng.normal(0.0, 1.0));
+    const double alpha = rng.uniform();
+
+    // Monolithic blend vs the per-shard routed blends, bit-compared.
+    std::vector<float> mono = server;
+    vcasgd_update(mono, client, alpha);
+    std::vector<float> sharded = server;
+    for (std::size_t s = 0; s < plan.shards(); ++s) {
+      vcasgd_update(plan.view(std::span<float>(sharded), s),
+                    plan.view(std::span<const float>(client), s), alpha);
+    }
+    prop_assert(total == 0 || std::memcmp(mono.data(), sharded.data(),
+                                          total * sizeof(float)) == 0,
+                "concatenated shard blends != monolithic blend");
+  });
+  EXPECT_TRUE(r.passed) << r.message << "\n" << r.repro;
+}
+
+// --- shards=1 pinned-golden oracle ------------------------------------------
+
+// Captured from the pre-shard monolithic build (same tiny_image_spec, same
+// seeds): a param_shards=1 run must reproduce every one of these bits.
+struct Golden {
+  const char* codec;
+  const char* store;
+  std::uint64_t digest;
+  std::uint64_t metrics;
+  std::uint64_t params;
+  std::uint64_t events;
+};
+constexpr Golden kMonolithicGoldens[] = {
+    {"full", "eventual", 0x09af42a07a9c7ad6ULL, 0x3657284886b66da6ULL,
+     0xe550207a31cc88daULL, 149},
+    {"delta", "eventual", 0xc89e5cfadefc59f5ULL, 0x6e3b6317fa2de9caULL,
+     0xe550207a31cc88daULL, 149},
+    {"delta_q8", "strong", 0xa455084954823cd6ULL, 0xcf2568b273bd4e38ULL,
+     0x3cba8a2a2e242ec3ULL, 149},
+};
+
+struct RunFingerprint {
+  std::uint64_t digest = 0;
+  std::uint64_t metrics = 0;
+  std::uint64_t params = 0;
+  std::uint64_t events = 0;
+};
+
+RunFingerprint run_fingerprint(const char* codec, const char* store,
+                               std::size_t param_shards) {
+  ExperimentSpec spec = testing::tiny_image_spec(/*trace=*/true);
+  spec.wire_codec = codec;
+  spec.store = store;
+  spec.param_shards = param_shards;
+  VcTrainer t(spec);
+  const TrainResult r = t.run();
+  return {t.trace().digest().hash, r.metrics.fingerprint(),
+          params_hash(r.final_params), t.trace().digest().events};
+}
+
+TEST(ShardPlane, ShardsOneMatchesMonolithicGoldens) {
+  for (const Golden& g : kMonolithicGoldens) {
+    const RunFingerprint fp = run_fingerprint(g.codec, g.store, 1);
+    EXPECT_EQ(fp.digest, g.digest) << g.codec << "/" << g.store;
+    EXPECT_EQ(fp.metrics, g.metrics) << g.codec << "/" << g.store;
+    EXPECT_EQ(fp.params, g.params) << g.codec << "/" << g.store;
+    EXPECT_EQ(fp.events, g.events) << g.codec << "/" << g.store;
+  }
+}
+
+TEST(ShardPlane, MutationMisroutedBlendFailsGoldenOracle) {
+  // Teeth check: misrouting shard 0's blend must shift the published
+  // parameters, the trace and the metrics — if the golden oracle still
+  // passed, it would be comparing nothing.
+  HookGuard guard(shard_hooks::misroute_blend);
+  const Golden& g = kMonolithicGoldens[0];
+  const RunFingerprint fp = run_fingerprint(g.codec, g.store, 1);
+  EXPECT_NE(fp.params, g.params);
+  const bool all_match = fp.digest == g.digest && fp.metrics == g.metrics &&
+                         fp.params == g.params;
+  EXPECT_FALSE(all_match);
+}
+
+// --- Sharded runs: determinism + mutation -----------------------------------
+
+TEST(ShardPlane, ShardedRunsAreDeterministic) {
+  for (const std::size_t shards : {2u, 4u, 8u}) {
+    const RunFingerprint a = run_fingerprint("delta", "eventual", shards);
+    const RunFingerprint b = run_fingerprint("delta", "eventual", shards);
+    EXPECT_EQ(a.digest, b.digest) << "shards=" << shards;
+    EXPECT_EQ(a.metrics, b.metrics) << "shards=" << shards;
+    EXPECT_EQ(a.params, b.params) << "shards=" << shards;
+  }
+}
+
+TEST(ShardPlane, ShardedRunCompletesUnderEveryCodec) {
+  for (const char* codec : {"full", "delta", "delta_q8"}) {
+    ExperimentSpec spec = testing::tiny_image_spec();
+    spec.wire_codec = codec;
+    spec.param_shards = 4;
+    const TrainResult r = run_experiment(spec);
+    EXPECT_FALSE(r.epochs.empty()) << codec;
+    EXPECT_EQ(r.final_params.size(), r.totals.parameter_count) << codec;
+  }
+}
+
+TEST(ShardPlane, MutationMisroutedBlendShiftsShardedDigest) {
+  const RunFingerprint clean = run_fingerprint("full", "eventual", 2);
+  HookGuard guard(shard_hooks::misroute_blend);
+  const RunFingerprint sabotaged = run_fingerprint("full", "eventual", 2);
+  EXPECT_NE(clean.params, sabotaged.params);
+}
+
+// --- Per-shard wire stats: set-equality vs the global counters --------------
+
+std::uint64_t counter_value(const std::string& name) {
+  return obs::registry().counter(name).value();
+}
+
+// Minimal assimilator rig (the test_param_server harness, plus a plan).
+struct ShardRig {
+  SimEngine engine;
+  TraceLog trace;
+  Scheduler scheduler;
+  FileServer files;
+  std::unique_ptr<KvStore> store;
+  std::unique_ptr<GridServer> server;
+  std::unique_ptr<ConstantAlpha> schedule;
+  std::unique_ptr<VcAsgdAssimilator> assimilator;
+  SyntheticData data;
+  Model model;
+  ShardPlan plan;
+  std::vector<double> accs;
+
+  ShardRig(std::size_t shards, WireMode wire)
+      : store(make_store("eventual")),
+        data(make_synthetic_cifar({.height = 8,
+                                   .width = 8,
+                                   .train = 40,
+                                   .validation = 40,
+                                   .test = 10,
+                                   .seed = 3})),
+        model(make_resnet_lite(
+            {.height = 8, .width = 8, .base_filters = 4, .blocks = 1}, 5)) {
+    files.set_wire_codec(wire, 8);
+    std::vector<std::size_t> layer_sizes(model.layer_count());
+    for (std::size_t i = 0; i < model.layer_count(); ++i) {
+      for (const Tensor* t : model.layer(i).params()) {
+        layer_sizes[i] += t->numel();
+      }
+    }
+    plan = ShardPlan::build(layer_sizes, shards);
+    server = std::make_unique<GridServer>(engine, scheduler, trace, 1,
+                                          [](const Blob&) { return true; });
+    schedule = std::make_unique<ConstantAlpha>(0.5);
+    VcAsgdAssimilator::Options opts;
+    opts.validation_subsample = 16;
+    opts.wire_mode = wire;
+    opts.plan = plan;
+    assimilator = std::make_unique<VcAsgdAssimilator>(
+        engine, *store, files, *server, *schedule, model, data.validation,
+        table1_catalog().server, opts, trace, Rng(1),
+        [this](std::size_t, double acc) { accs.push_back(acc); });
+    server->set_backend(assimilator.get());
+    assimilator->publish_initial(model.flat_params());
+  }
+
+  void submit(WorkunitId id, Blob payload) {
+    scheduler.register_client(0);
+    Workunit wu;
+    wu.id = id;
+    wu.epoch = 1;
+    wu.shard = static_cast<std::size_t>(id);
+    scheduler.add_unit(wu);
+    (void)scheduler.request_work(0, 1, engine.now());
+    server->submit_result(0, wu, std::move(payload));
+  }
+
+  // Per-shard frames against `base` (hash-matching iff base == published at
+  // `version`), bundled at shards > 1, bare frame at shards = 1.
+  Blob encode(const std::vector<float>& base, const std::vector<float>& target,
+              std::uint64_t version, WireMode wire) {
+    std::vector<Blob> parts(plan.shards());
+    for (std::size_t s = 0; s < plan.shards(); ++s) {
+      const auto b = plan.view(std::span<const float>(base), s);
+      const auto t = plan.view(std::span<const float>(target), s);
+      parts[s] = wire == WireMode::delta
+                     ? encode_params_delta(b, t, version)
+                     : encode_params_q8(b, t, version);
+    }
+    return plan.shards() == 1 ? parts[0] : pack_shard_frames(parts);
+  }
+};
+
+// The fields of the wire-codec decode taxonomy, checked as a set (the
+// test_obs idiom): per-shard sums must equal the global counter deltas field
+// for field, for every shard count.
+void expect_shard_stats_match_global(std::size_t shards, WireMode wire) {
+  const std::uint64_t decoded0 = counter_value("wire_codec.frames_decoded");
+  const std::uint64_t misses0 = counter_value("wire_codec.base_misses");
+  const std::uint64_t dropped0 = counter_value("wire_codec.frames_dropped");
+
+  ShardRig rig(shards, wire);
+  const std::vector<float> base = rig.model.flat_params();
+  std::vector<float> target = base;
+  for (auto& v : target) v += 0.25f;
+
+  // Upload 1: ring hit on every shard (encoded against the published copy).
+  rig.submit(1, rig.encode(base, target, rig.assimilator->commits(), wire));
+  rig.engine.run();
+  // Upload 2: base-hash mismatch on every shard — a delta upload drops at
+  // the first missed shard, a q8 upload falls back shard by shard.
+  std::vector<float> stale = base;
+  for (auto& v : stale) v -= 1.0f;
+  rig.submit(2, rig.encode(stale, target, rig.assimilator->commits(), wire));
+  rig.engine.run();
+
+  const std::map<std::string, std::uint64_t> global = {
+      {"frames_decoded", counter_value("wire_codec.frames_decoded") - decoded0},
+      {"base_misses", counter_value("wire_codec.base_misses") - misses0},
+      {"frames_dropped",
+       counter_value("wire_codec.frames_dropped") - dropped0},
+  };
+  const auto& per_shard = rig.assimilator->shard_wire_stats();
+  ASSERT_EQ(per_shard.size(), shards);
+  std::map<std::string, std::uint64_t> summed = {
+      {"frames_decoded", 0}, {"base_misses", 0}, {"frames_dropped", 0}};
+  for (const auto& s : per_shard) {
+    summed["frames_decoded"] += s.frames_decoded;
+    summed["base_misses"] += s.base_misses;
+    summed["frames_dropped"] += s.frames_dropped;
+  }
+  EXPECT_EQ(summed, global) << "shards=" << shards;
+  // The scenario exercised the taxonomy: both a hit and a miss happened.
+  EXPECT_GT(global.at("frames_decoded"), 0u);
+  EXPECT_GT(global.at("base_misses"), 0u);
+}
+
+TEST(ShardPlane, ShardWireStatsSumToGlobalCountersAtOneShard) {
+  expect_shard_stats_match_global(1, WireMode::delta);
+}
+
+TEST(ShardPlane, ShardWireStatsSumToGlobalCountersSharded) {
+  expect_shard_stats_match_global(3, WireMode::delta);
+  expect_shard_stats_match_global(3, WireMode::delta_q8);
+}
+
+// Per-file pull accounting on the download side: the shard files' pull
+// stats must sum to the server-wide delta-protocol totals.
+TEST(ShardPlane, PerFilePullStatsSumToGlobalTotals) {
+  FileServer files;
+  files.set_wire_codec(WireMode::delta, 4);
+  std::vector<float> v(512, 1.0f);
+  const auto blob = [&] { return save_params(std::span<const float>(v)); };
+  files.publish("params/0", blob(), true, /*delta_capable=*/true);
+  files.publish("params/1", blob(), true, /*delta_capable=*/true);
+  // Version 2 of each so a have_version=1 pull can be served as a delta.
+  v[7] += 0.5f;
+  files.publish("params/0", blob(), true, true);
+  files.publish("params/1", blob(), true, true);
+  (void)files.pull("params/0", 1);  // delta pull
+  (void)files.pull("params/1", 1);  // delta pull
+  (void)files.pull("params/1", 0);  // first contact: full blob, no delta path
+
+  const FileServer::Stats& global = files.stats();
+  FileServer::FileWireStats sum;
+  for (const char* name : {"params/0", "params/1"}) {
+    const auto& fs = files.file_wire_stats(name);
+    sum.delta_pulls += fs.delta_pulls;
+    sum.delta_fallbacks += fs.delta_fallbacks;
+    sum.bytes_delta_wire += fs.bytes_delta_wire;
+    sum.bytes_delta_full += fs.bytes_delta_full;
+  }
+  EXPECT_EQ(sum.delta_pulls, global.delta_pulls);
+  EXPECT_EQ(sum.delta_fallbacks, global.delta_fallbacks);
+  EXPECT_EQ(sum.bytes_delta_wire, global.bytes_delta_wire);
+  EXPECT_EQ(sum.bytes_delta_full, global.bytes_delta_full);
+  EXPECT_EQ(sum.delta_pulls, 2u);
+}
+
+// --- Shard bundles ----------------------------------------------------------
+
+TEST(ShardPlane, BundleRoundtripAndValidation) {
+  std::vector<float> base(300), target(300);
+  Rng rng(11);
+  for (auto& x : base) x = static_cast<float>(rng.normal(0.0, 1.0));
+  for (std::size_t i = 0; i < target.size(); ++i) {
+    target[i] = base[i] + 0.01f * static_cast<float>(i % 7);
+  }
+  const ShardPlan plan = ShardPlan::build({100, 100, 100}, 3);
+  std::vector<Blob> parts(3);
+  for (std::size_t s = 0; s < 3; ++s) {
+    parts[s] = encode_params_delta(plan.view(std::span<const float>(base), s),
+                                   plan.view(std::span<const float>(target), s),
+                                   7);
+  }
+  const Blob bundle = pack_shard_frames(parts);
+  EXPECT_TRUE(is_shard_bundle(bundle));
+  EXPECT_FALSE(is_wire_frame(bundle));
+  EXPECT_FALSE(is_shard_bundle(parts[0]));
+  EXPECT_TRUE(validate_shard_bundle(bundle));
+
+  const std::vector<Blob> unpacked = unpack_shard_frames(bundle);
+  ASSERT_EQ(unpacked.size(), 3u);
+  std::vector<float> decoded;
+  for (std::size_t s = 0; s < 3; ++s) {
+    const auto slice = decode_params(
+        unpacked[s], plan.view(std::span<const float>(base), s));
+    decoded.insert(decoded.end(), slice.begin(), slice.end());
+  }
+  EXPECT_EQ(std::memcmp(decoded.data(), target.data(),
+                        target.size() * sizeof(float)),
+            0);
+
+  // Corruption anywhere must fail validation (body bytes or container).
+  Blob corrupt = bundle;
+  corrupt.data()[corrupt.size() / 2] ^= 0x40;
+  EXPECT_FALSE(validate_shard_bundle(corrupt));
+}
+
+}  // namespace
+}  // namespace vcdl
