@@ -18,7 +18,7 @@ echo "soak: running tier2/soak suites with VCDL_SOAK=${VCDL_SOAK}"
 
 # The concurrency-heavy soak suites are the ones worth TSan's ~10x slowdown;
 # the full tier2 set runs under ASan/UBSan.
-export VCDL_TSAN_REGEX='test_fuzz|test_trace_replay|test_wire_codec|test_consensus|test_kernels|test_shard_plane'
+export VCDL_TSAN_REGEX='test_fuzz|test_trace_replay|test_wire_codec|test_consensus|test_kernels|test_shard_plane|test_fleet'
 
 # Explicit status propagation (mirrors the sanitize.sh TSan stage): the soak
 # result is exactly the two-stage sanitizer run's result.

@@ -59,7 +59,7 @@ check "failing test status propagates" \
 #    build, so the regex can never silently select nothing.
 for suite in test_thread_pool test_tensor test_nn_layers test_nn_model \
              test_exec_threading test_kernels test_obs test_wire_codec \
-             test_consensus test_shard_plane; do
+             test_consensus test_shard_plane test_fleet; do
   check "tsan target ${suite} registered" \
     bash -c "ctest --test-dir '${BUILD_DIR}' -N -R '^${suite}\$' \
                2>/dev/null | grep -q 'Total Tests: 1'"
@@ -79,6 +79,13 @@ check "sanitize.sh tsan regex includes test_shard_plane" \
   bash -c "grep -E '^TSAN_REGEX=' ci/sanitize.sh | grep -q test_shard_plane"
 check "soak.sh tsan regex includes test_shard_plane" \
   bash -c "grep -E '^export VCDL_TSAN_REGEX=' ci/soak.sh | grep -q test_shard_plane"
+# And the fleet suite: it pins the calendar queue / scheduler index
+# invariants and the pre-index same-seed goldens, the contract the 100k
+# scaling work is built on.
+check "sanitize.sh tsan regex includes test_fleet" \
+  bash -c "grep -E '^TSAN_REGEX=' ci/sanitize.sh | grep -q test_fleet"
+check "soak.sh tsan regex includes test_fleet" \
+  bash -c "grep -E '^export VCDL_TSAN_REGEX=' ci/soak.sh | grep -q test_fleet"
 
 if [[ "${failures}" -ne 0 ]]; then
   echo "ci self-test: ${failures} check(s) failed"

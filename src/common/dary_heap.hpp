@@ -1,0 +1,77 @@
+// Cache-friendly d-ary min-heap primitives over a std::vector.
+//
+// Drop-in replacement for std::push_heap/pop_heap/make_heap where the heap
+// outgrows L2: a 4-ary layout halves the tree depth of a binary heap and
+// packs each node's children into one-or-two cache lines, which is what the
+// fleet-scale event and deadline queues are bound by (docs/SIMULATION.md §6).
+//
+// Determinism: callers here use strict-total-order comparators ((time, seq)
+// with unique seq), under which every pop returns the unique minimum of the
+// remaining elements — so the pop sequence is the sorted order regardless of
+// arity or internal layout, and switching a binary heap to d-ary is
+// bit-for-bit order-preserving.
+//
+// `After` is a std::greater-style predicate: after(a, b) ⇔ a sorts after b
+// (same convention the std heap algorithms use for a min-heap).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace vcdl {
+
+template <std::size_t D, typename T, typename After>
+void dary_sift_down(std::vector<T>& h, std::size_t i, After after) {
+  const std::size_t n = h.size();
+  T moving = std::move(h[i]);
+  while (true) {
+    const std::size_t first_child = i * D + 1;
+    if (first_child >= n) break;
+    const std::size_t last_child = std::min(first_child + D, n);
+    std::size_t best = first_child;
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (after(h[best], h[c])) best = c;
+    }
+    if (!after(moving, h[best])) break;
+    h[i] = std::move(h[best]);
+    i = best;
+  }
+  h[i] = std::move(moving);
+}
+
+/// Appends `v` and restores the heap property (std::push_heap analogue).
+template <std::size_t D, typename T, typename After>
+void dary_push(std::vector<T>& h, T v, After after) {
+  std::size_t i = h.size();
+  h.push_back(std::move(v));
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / D;
+    if (!after(h[parent], h[i])) break;
+    using std::swap;
+    swap(h[parent], h[i]);
+    i = parent;
+  }
+}
+
+/// Removes and returns the minimum. Precondition: !h.empty().
+template <std::size_t D, typename T, typename After>
+T dary_pop(std::vector<T>& h, After after) {
+  T top = std::move(h.front());
+  h.front() = std::move(h.back());
+  h.pop_back();
+  if (!h.empty()) dary_sift_down<D>(h, 0, after);
+  return top;
+}
+
+/// Heapifies an arbitrary vector in place (std::make_heap analogue).
+template <std::size_t D, typename T, typename After>
+void dary_make(std::vector<T>& h, After after) {
+  if (h.size() < 2) return;
+  const std::size_t last_parent = (h.size() - 2) / D;
+  for (std::size_t i = last_parent + 1; i-- > 0;) {
+    dary_sift_down<D>(h, i, after);
+  }
+}
+
+}  // namespace vcdl

@@ -1,0 +1,133 @@
+// Move-only callable with inline small-buffer storage.
+//
+// std::function's small-object buffer on libstdc++ is 16 bytes, so the
+// simulator's typical event closure (a this-pointer plus two or three ids)
+// is heap-allocated — one extra cold cache line per event at fleet scale,
+// plus a malloc/free pair per event. SmallFn<N> raises the inline threshold
+// so those closures live inside the engine's slot slab (the memory the event
+// path already touches); larger captures (payload blobs, whole workunits)
+// transparently fall back to the heap like std::function would.
+//
+// Dispatch goes through a single pointer to a per-type static ops table
+// rather than three inline function pointers: the table is shared across
+// every instance of the same closure type (a handful of hot, L1-resident
+// lines for the whole simulation), and the object itself stays at
+// buffer + 8 bytes — small enough that an engine event slot fits in one
+// cache line.
+//
+// Move-only (no copy), void() signature only — exactly what the event queue
+// needs, nothing more.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace vcdl {
+
+template <std::size_t N>
+class SmallFn {
+ public:
+  SmallFn() = default;
+  SmallFn(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      // Heap fallback: the buffer holds just the pointer.
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept { move_from(other); }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  SmallFn& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  void operator()() { ops_->call(buf_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+  friend bool operator==(const SmallFn& f, std::nullptr_t) { return !f; }
+  friend bool operator!=(const SmallFn& f, std::nullptr_t) {
+    return static_cast<bool>(f);
+  }
+
+ private:
+  struct Ops {
+    void (*call)(void*);
+    void (*relocate)(void*, void*);  // move-construct dst, kill src
+    void (*destroy)(void*);
+  };
+
+  // The buffer is pointer-aligned, not max_align_t-aligned: event closures
+  // capture pointers, ids and doubles. The rare over-aligned functor simply
+  // takes the heap fallback (fits_inline rejects it).
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= N && alignof(Fn) <= alignof(void*) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps = {
+      [](void* p) { (*std::launder(reinterpret_cast<Fn*>(p)))(); },
+      [](void* dst, void* src) {
+        Fn* s = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*s));
+        s->~Fn();
+      },
+      [](void* p) { std::launder(reinterpret_cast<Fn*>(p))->~Fn(); }};
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps = {
+      [](void* p) { (**std::launder(reinterpret_cast<Fn**>(p)))(); },
+      [](void* dst, void* src) {
+        ::new (dst) Fn*(*std::launder(reinterpret_cast<Fn**>(src)));
+      },
+      [](void* p) { delete *std::launder(reinterpret_cast<Fn**>(p)); }};
+
+  void move_from(SmallFn& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(buf_, other.buf_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(void*) unsigned char buf_[N];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace vcdl

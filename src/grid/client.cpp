@@ -350,9 +350,10 @@ void SimClient::come_online() {
 
 void SimClient::cancel_pending() {
   // Copy: cancel() mutates nothing here, but keep iteration safe anyway.
-  const std::vector<std::uint64_t> seqs(pending_events_.begin(),
-                                        pending_events_.end());
-  for (const auto seq : seqs) engine_.cancel(EventId{seq});
+  std::vector<EventId> ids;
+  ids.reserve(pending_events_.size());
+  for (const auto& [seq, id] : pending_events_) ids.push_back(id);
+  for (const EventId id : ids) engine_.cancel(id);
   pending_events_.clear();
 }
 

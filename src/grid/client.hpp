@@ -131,7 +131,7 @@ class SimClient {
   bool needs_transfer(const Workunit& unit) const;
   /// Simulated download time for the unit's inputs; updates caches.
   SimTime download_time(const Workunit& unit);
-  void track(EventId id) { pending_events_.insert(id.seq); }
+  void track(EventId id) { pending_events_.emplace(id.seq, id); }
   void untrack(std::uint64_t seq) { pending_events_.erase(seq); }
   void cancel_pending();
   std::string name() const { return "client-" + std::to_string(id_); }
@@ -160,7 +160,9 @@ class SimClient {
   // FileServer pull protocol encodes against. Wiped on preemption (the
   // replacement instance holds no copy), kept across offline periods.
   std::map<std::string, std::uint64_t> seen_versions_;
-  std::set<std::uint64_t> pending_events_;      // cancellable on preemption
+  // Whole EventId handles keyed by seq (cancel() needs the slot half too);
+  // cancellable on preemption.
+  std::map<std::uint64_t, EventId> pending_events_;
   Stats stats_;
 };
 

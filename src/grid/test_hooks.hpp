@@ -14,4 +14,15 @@ namespace vcdl::grid_hooks {
 /// assimilated when quorum is enabled" invariant must catch this.
 inline bool consensus_first_result_wins = false;
 
+/// When true, Scheduler::push_ready skips its already-queued check and
+/// enqueues a second ready entry for the same unit. The "ready queue has no
+/// duplicate or stale entries" invariant must catch this.
+inline bool scheduler_duplicate_ready = false;
+
+/// When true, Scheduler::grant_unit records the in-flight assignment but
+/// "forgets" the issued_to hold — the client could be handed a second replica
+/// of the same unit. The "every inflight assignment holds an issued_to entry"
+/// invariant must catch this.
+inline bool scheduler_drop_issued_hold = false;
+
 }  // namespace vcdl::grid_hooks

@@ -1,36 +1,178 @@
 #include "sim/engine.hpp"
 
-#include <unordered_map>
+#include <algorithm>
+
+#include "common/dary_heap.hpp"
 
 namespace vcdl {
 
-EventId SimEngine::schedule(SimTime delay, std::function<void()> fn) {
+EventId SimEngine::schedule(SimTime delay, EventFn fn) {
   VCDL_CHECK(delay >= 0.0, "SimEngine::schedule: negative delay");
   return schedule_at(now_ + delay, std::move(fn));
 }
 
-EventId SimEngine::schedule_at(SimTime when, std::function<void()> fn) {
+EventId SimEngine::schedule_at(SimTime when, EventFn fn) {
   VCDL_CHECK(when >= now_, "SimEngine::schedule_at: time in the past");
   VCDL_CHECK(fn != nullptr, "SimEngine::schedule_at: null callback");
   const std::uint64_t seq = next_seq_++;
-  heap_.push(Entry{when, seq});
-  callbacks_.emplace(seq, std::move(fn));
-  return EventId{seq};
+  const std::uint32_t slot = acquire_slot();
+  slots_[slot].seq = seq;
+  slots_[slot].fn = std::move(fn);
+  insert_entry(Entry{when, seq, slot});
+  ++live_;
+  return EventId{seq, slot};
+}
+
+void SimEngine::insert_entry(const Entry& e) {
+  const std::uint64_t b = bucket_of(e.time);
+  ++total_entries_;
+  if (b == active_bucket_) {
+    dary_push<kHeapArity>(active_, e, EntryAfter{});
+    return;
+  }
+  if (b < active_bucket_) {
+    // The clock was parked mid-bucket by run_until and a new event landed
+    // behind the active cursor. Every bucket before active_bucket_ is empty
+    // (the cursor only advances over drained buckets), so regressing is just:
+    // shelve the active heap back into its ring slot and restart from b.
+    --total_entries_;  // re-inserted below via activate + push
+    auto& shelf = ring_[active_bucket_ % kBuckets];
+    ring_count_ += active_.size();
+    shelf.insert(shelf.end(), active_.begin(), active_.end());
+    active_.clear();
+    activate_bucket(b);
+    dary_push<kHeapArity>(active_, e, EntryAfter{});
+    ++total_entries_;
+    return;
+  }
+  if (b < active_bucket_ + kBuckets) {
+    ring_[b % kBuckets].push_back(e);
+    ++ring_count_;
+    return;
+  }
+  dary_push<kHeapArity>(far_, e, EntryAfter{});
+}
+
+void SimEngine::activate_bucket(std::uint64_t bucket) {
+  active_bucket_ = bucket;
+  auto& slot = ring_[bucket % kBuckets];
+  // A slot can mix entries for this bucket with entries for bucket+kBuckets
+  // (scheduled after a window regression); keep the future lap's behind.
+  std::size_t kept = 0;
+  for (Entry& e : slot) {
+    if (bucket_of(e.time) == bucket) {
+      active_.push_back(e);
+    } else {
+      slot[kept++] = e;
+    }
+  }
+  slot.resize(kept);
+  ring_count_ -= active_.size();
+  dary_make<kHeapArity>(active_, EntryAfter{});
+}
+
+void SimEngine::refill_from_far() {
+  const std::uint64_t window_end = active_bucket_ + kBuckets;  // exclusive
+  while (!far_.empty() && bucket_of(far_.front().time) < window_end) {
+    const Entry e = dary_pop<kHeapArity>(far_, EntryAfter{});
+    const std::uint64_t b = bucket_of(e.time);
+    if (b == active_bucket_) {
+      dary_push<kHeapArity>(active_, e, EntryAfter{});
+    } else {
+      ring_[b % kBuckets].push_back(e);
+      ++ring_count_;
+    }
+  }
+}
+
+std::uint32_t SimEngine::acquire_slot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    return slot;
+  }
+  VCDL_CHECK(slots_.size() < kNoSlot, "SimEngine: event slot space exhausted");
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void SimEngine::release_slot(std::uint32_t slot) {
+  slots_[slot].seq = 0;
+  slots_[slot].fn = nullptr;  // drop the closure now, not at slot reuse
+  slots_[slot].next_free = free_head_;
+  free_head_ = slot;
 }
 
 bool SimEngine::cancel(EventId id) {
-  const auto it = callbacks_.find(id.seq);
-  if (it == callbacks_.end()) return false;
-  callbacks_.erase(it);
-  ++cancelled_count_;  // heap entry becomes stale; skipped on pop
+  if (id.seq == 0 || id.slot >= slots_.size() ||
+      slots_[id.slot].seq != id.seq) {
+    return false;  // already fired, already cancelled, or a stale handle
+  }
+  release_slot(id.slot);
+  --live_;
+  ++cancelled_count_;  // queue entry becomes stale; skipped on pop
+  maybe_compact();
   return true;
 }
 
+void SimEngine::maybe_compact() {
+  // Long-dated events scheduled and cancelled over and over (client
+  // availability timers, deadline checks) would otherwise pile their stale
+  // entries up until their far-future timestamps naturally pop.
+  if (total_entries_ < kCompactFloor ||
+      cancelled_count_ * 2 <= total_entries_) {
+    return;
+  }
+  const auto stale = [this](const Entry& e) {
+    return slots_[e.slot].seq != e.seq;
+  };
+  total_entries_ -= std::erase_if(active_, stale);
+  dary_make<kHeapArity>(active_, EntryAfter{});
+  for (auto& slot : ring_) {
+    const std::size_t dropped = std::erase_if(slot, stale);
+    total_entries_ -= dropped;
+    ring_count_ -= dropped;
+  }
+  total_entries_ -= std::erase_if(far_, stale);
+  dary_make<kHeapArity>(far_, EntryAfter{});
+  cancelled_count_ = 0;
+  ++compactions_;
+}
+
 bool SimEngine::pop_next(Entry& out) {
-  while (!heap_.empty()) {
-    const Entry top = heap_.top();
-    heap_.pop();
-    if (callbacks_.count(top.seq) == 0) {
+  while (total_entries_ > 0) {
+    if (active_.empty()) {
+      // Advance the window to the next bucket holding anything. With an
+      // empty ring, jump straight to the earliest far event's bucket.
+      if (ring_count_ == 0 && far_.empty()) return false;  // all stale? no:
+      // total_entries_ counts active+ring+far, so something exists below.
+      std::uint64_t next = active_bucket_ + 1;
+      if (ring_count_ == 0) {
+        next = std::max(next, bucket_of(far_.front().time));
+      }
+      // Hunt for the next nonempty ring slot, refilling from the far heap
+      // as each new bucket enters the window. Bounded: within kBuckets
+      // steps either a ring slot has entries or the far refill lands some.
+      while (true) {
+        activate_bucket(next);
+        refill_from_far();
+        if (!active_.empty()) break;
+        if (ring_count_ == 0) {
+          if (far_.empty()) return false;  // unreachable: total_entries_ > 0
+          next = std::max(next + 1, bucket_of(far_.front().time));
+        } else {
+          ++next;
+        }
+      }
+    }
+    const Entry top = dary_pop<kHeapArity>(active_, EntryAfter{});
+    --total_entries_;
+    if (!active_.empty()) {
+      // The next event's callback slot is known now; start pulling it in
+      // while the current callback runs (it went cold since scheduling).
+      __builtin_prefetch(&slots_[active_.front().slot]);
+    }
+    if (slots_[top.slot].seq != top.seq) {
       --cancelled_count_;  // stale (cancelled) entry
       continue;
     }
@@ -40,15 +182,19 @@ bool SimEngine::pop_next(Entry& out) {
   return false;
 }
 
+EventFn SimEngine::take_callback(const Entry& e) {
+  EventFn fn = std::move(slots_[e.slot].fn);
+  release_slot(e.slot);
+  --live_;
+  ++executed_;
+  return fn;
+}
+
 SimTime SimEngine::run() {
   Entry e;
   while (pop_next(e)) {
     now_ = e.time;
-    auto it = callbacks_.find(e.seq);
-    auto fn = std::move(it->second);
-    callbacks_.erase(it);
-    ++executed_;
-    fn();
+    take_callback(e)();
   }
   return now_;
 }
@@ -57,18 +203,14 @@ SimTime SimEngine::run_until(SimTime until) {
   Entry e;
   while (pop_next(e)) {
     if (e.time > until) {
-      // Put it back: not yet due. (Re-push preserves ordering; the seq is
+      // Put it back: not yet due. (Re-insert preserves ordering; the seq is
       // unchanged so FIFO order within a timestamp is intact.)
-      heap_.push(e);
+      insert_entry(e);
       now_ = until;
       return now_;
     }
     now_ = e.time;
-    auto it = callbacks_.find(e.seq);
-    auto fn = std::move(it->second);
-    callbacks_.erase(it);
-    ++executed_;
-    fn();
+    take_callback(e)();
   }
   now_ = until;
   return now_;
@@ -78,11 +220,7 @@ bool SimEngine::step() {
   Entry e;
   if (!pop_next(e)) return false;
   now_ = e.time;
-  auto it = callbacks_.find(e.seq);
-  auto fn = std::move(it->second);
-  callbacks_.erase(it);
-  ++executed_;
-  fn();
+  take_callback(e)();
   return true;
 }
 

@@ -7,28 +7,61 @@
 // runs natively. Events at equal timestamps fire in scheduling order
 // (a monotonically increasing sequence number breaks ties), so a run is a
 // pure function of its seed.
+//
+// Fleet-scale internals (docs/SIMULATION.md §6): callbacks live in a
+// slot-pooled slab recycled through a free list — scheduling an event costs
+// one queue insert and one slot reuse, no per-event node allocation.
+// Cancelling clears the slot immediately and leaves a stale queue entry
+// behind; stale entries are skipped on pop, and when they outnumber the live
+// ones the queue is compacted in place.
+//
+// The queue itself is a calendar queue: a ring of fixed-width time buckets
+// covers the near future, and events beyond the ring land in a 4-ary
+// min-heap (common/dary_heap.hpp) that refills the ring as the window
+// slides. Inserting a near event is an O(1) append to its bucket; a bucket
+// is heapified only when the clock enters it, so the per-event working set
+// is one small bucket instead of a fleet-sized heap — this is what keeps
+// 100k-client event throughput near-flat instead of falling off the
+// last-level-cache cliff. Ordering is unaffected: buckets partition time,
+// the active bucket drains through a (time, seq) min-heap, and that
+// comparator is a strict total order (seq is unique) — so the pop sequence
+// is the globally sorted order whatever the queue's internal arrangement,
+// and neither compaction, heap arity, nor bucket layout can reorder firing.
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <functional>
 #include <limits>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/small_fn.hpp"
 
 namespace vcdl {
 
 /// Simulated time in seconds.
 using SimTime = double;
 
+/// Event callback storage: closures up to 32 bytes (a this-pointer plus a
+/// few ids — the common case) live inline in the engine's slot slab instead
+/// of behind a per-event heap allocation; bigger captures fall back to the
+/// heap transparently. Lambdas convert implicitly, same as std::function.
+/// 32 is chosen so a whole event slot (callback + seq + free link) fits in
+/// one 64-byte cache line — at fleet scale the slab is the hottest memory
+/// in the process and every slot touch is a random access.
+using EventFn = SmallFn<32>;
+
 constexpr SimTime sim_minutes(double m) { return m * 60.0; }
 constexpr SimTime sim_hours(double h) { return h * 3600.0; }
 
-/// Handle for cancelling a scheduled event.
+/// Handle for cancelling a scheduled event. `seq` identifies the event;
+/// `slot` is the engine's internal storage index for it (slots are recycled,
+/// so a stale handle's seq no longer matches the slot and cancel() safely
+/// returns false). Treat the pair as opaque: store the whole handle, don't
+/// rebuild one from a bare seq.
 struct EventId {
   std::uint64_t seq = 0;
+  std::uint32_t slot = 0;
   bool valid() const { return seq != 0; }
 };
 
@@ -37,9 +70,9 @@ class SimEngine {
   SimTime now() const { return now_; }
 
   /// Schedules `fn` to run at now() + delay (delay >= 0). Returns a handle.
-  EventId schedule(SimTime delay, std::function<void()> fn);
+  EventId schedule(SimTime delay, EventFn fn);
   /// Schedules at an absolute time >= now().
-  EventId schedule_at(SimTime when, std::function<void()> fn);
+  EventId schedule_at(SimTime when, EventFn fn);
   /// Cancels a pending event; returns false if already fired or cancelled.
   bool cancel(EventId id);
 
@@ -51,30 +84,104 @@ class SimEngine {
   /// Executes exactly one event if any is pending; returns false otherwise.
   bool step();
 
-  std::size_t pending() const { return heap_.size() - cancelled_count_; }
+  /// Pre-sizes the event-slot slab for an expected number of concurrently
+  /// pending events, so a large fleet's ramp-up does not grow the slab
+  /// through repeated reallocation-and-copy. Capacity hint only.
+  void reserve_slots(std::size_t n) { slots_.reserve(n); }
+
+  /// Live (schedulable) events — cancelled entries excluded.
+  std::size_t pending() const { return live_; }
   std::uint64_t executed() const { return executed_; }
+
+  /// Raw queue length, stale (cancelled) entries included — regression hook
+  /// for the compaction rule: repeated schedule/cancel churn must not grow
+  /// this unboundedly past the live count.
+  std::size_t heap_size() const { return total_entries_; }
+  /// Event slots currently allocated (live + free-listed) — the pool that
+  /// schedule() recycles instead of allocating per event.
+  std::size_t slot_capacity() const { return slots_.size(); }
+  /// Times the stale-majority rule compacted the queue.
+  std::uint64_t compactions() const { return compactions_; }
 
  private:
   struct Entry {
     SimTime time;
     std::uint64_t seq;
-    // Ordering: earliest time first; FIFO within a timestamp.
-    bool operator>(const Entry& other) const {
-      if (time != other.time) return time > other.time;
-      return seq > other.seq;
+    std::uint32_t slot;
+  };
+  // std::greater-style comparator for a min-heap on (time, seq): earliest
+  // time first; FIFO within a timestamp. seq uniqueness makes this a strict
+  // total order, so pop order is independent of queue layout.
+  struct EntryAfter {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
     }
   };
 
+  // One cache line per slot (40B SmallFn + seq + free link, padded to 64):
+  // the slab is accessed randomly at fleet scale, so a slot touch is exactly
+  // one memory transaction — never two for a straddled callback.
+  struct alignas(64) Slot {
+    std::uint64_t seq = 0;  // 0 = free
+    EventFn fn;
+    std::uint32_t next_free = kNoSlot;
+  };
+  static_assert(sizeof(Slot) == 64, "event slot should be one cache line");
+  static constexpr std::uint32_t kNoSlot =
+      std::numeric_limits<std::uint32_t>::max();
+  // Below this many queue entries, stale-majority compaction is not worth a
+  // rebuild; the threshold only exists to bound big queues.
+  static constexpr std::size_t kCompactFloor = 64;
+  // Heap arity for the active-bucket and far heaps (common/dary_heap.hpp).
+  static constexpr std::size_t kHeapArity = 4;
+  // Calendar ring: kBuckets buckets of kBucketWidth seconds cover the near
+  // future (a 128 s window). Events beyond it go to the far heap. The values
+  // only shape memory layout, never ordering; they are sized so the poll /
+  // transfer / deadline cadences of the grid simulation (tens of seconds)
+  // land in the ring on first insert.
+  static constexpr std::size_t kBuckets = 256;
+  static constexpr SimTime kBucketWidth = 0.5;
+
   bool pop_next(Entry& out);
+  /// Pops the callback for a just-popped valid entry and recycles its slot.
+  EventFn take_callback(const Entry& e);
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+  /// Drops stale queue entries in place once they outnumber live ones.
+  void maybe_compact();
+
+  /// Absolute bucket number for a timestamp.
+  static std::uint64_t bucket_of(SimTime t) {
+    return static_cast<std::uint64_t>(t / kBucketWidth);
+  }
+  /// Routes a raw entry to the active heap, its ring bucket, or the far heap.
+  void insert_entry(const Entry& e);
+  /// Makes `bucket` the active one, heapifying its due entries. Entries for
+  /// a later lap of the ring (bucket + kBuckets, after a window regression)
+  /// stay behind in the slot.
+  void activate_bucket(std::uint64_t bucket);
+  /// Moves far-heap entries whose bucket has entered the window into the
+  /// ring (or the active heap).
+  void refill_from_far();
 
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  // seq → callback; erased on fire/cancel. Cancellation leaves a stale heap
-  // entry that pop_next() skips.
-  std::unordered_map<std::uint64_t, std::function<void()>> callbacks_;
-  std::size_t cancelled_count_ = 0;
+  std::uint64_t compactions_ = 0;
+  // Calendar queue state: active_ is the min-heap of the bucket the clock is
+  // in; ring_[b % kBuckets] holds unsorted entries for near-future bucket b;
+  // far_ is a min-heap of everything past the window.
+  std::vector<Entry> active_;
+  std::array<std::vector<Entry>, kBuckets> ring_;
+  std::vector<Entry> far_;
+  std::uint64_t active_bucket_ = 0;
+  std::size_t ring_count_ = 0;      // entries in ring_ slots (not active_/far_)
+  std::size_t total_entries_ = 0;   // all queued entries, stale included
+  std::vector<Slot> slots_;   // slab of callbacks, recycled via free list
+  std::uint32_t free_head_ = kNoSlot;
+  std::size_t live_ = 0;             // slots holding a pending callback
+  std::size_t cancelled_count_ = 0;  // stale entries still queued
 };
 
 }  // namespace vcdl
